@@ -1,0 +1,471 @@
+// Benchmark harness regenerating every table and figure of the
+// paper's evaluation (Section 6), plus ablation benches for the design
+// choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the full experiment per iteration and
+// reports the headline quantities as custom metrics, so `-bench`
+// output is a machine-readable record of the reproduction. The rows
+// themselves are logged once per run via b.Logf (visible with -v).
+package uniserver_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"uniserver/internal/core"
+	"uniserver/internal/cpu"
+	"uniserver/internal/dram"
+	"uniserver/internal/edge"
+	"uniserver/internal/faultinject"
+	"uniserver/internal/hypervisor"
+	"uniserver/internal/openstack"
+	"uniserver/internal/power"
+	"uniserver/internal/rng"
+	"uniserver/internal/silicon"
+	"uniserver/internal/stress"
+	"uniserver/internal/tco"
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+// BenchmarkTable1GuardbandSources regenerates Table 1: the voltage
+// guardband decomposition (droops ~20%, Vmin ~15%, core-to-core ~5%).
+func BenchmarkTable1GuardbandSources(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		gs := vfr.Table1Guardbands()
+		total = vfr.TotalGuardbandPct(gs)
+	}
+	b.ReportMetric(total, "guardband_%")
+	b.Logf("Table 1: sources of variations and voltage guard-bands")
+	for _, g := range vfr.Table1Guardbands() {
+		b.Logf("  %-25s ~%.0f%%", g.Source, g.Pct)
+	}
+}
+
+// BenchmarkTable2CPUCharacterization regenerates Table 2: the
+// undervolt characterization of the i5-4200U and i7-3970X (crash
+// points, core-to-core variation, cache ECC errors).
+func BenchmarkTable2CPUCharacterization(b *testing.B) {
+	suite := cpu.SPECSuite()
+	var i5, i7 cpu.Table2Row
+	for i := 0; i < b.N; i++ {
+		i5 = cpu.Characterize(cpu.PartI5_4200U(), suite, 3, 42)
+		i7 = cpu.Characterize(cpu.PartI7_3970X(), suite, 3, 42)
+	}
+	b.ReportMetric(i5.CrashMinPct, "i5_crash_min_%")
+	b.ReportMetric(i5.CrashMaxPct, "i5_crash_max_%")
+	b.ReportMetric(i7.CrashMinPct, "i7_crash_min_%")
+	b.ReportMetric(i7.CrashMaxPct, "i7_crash_max_%")
+	b.ReportMetric(float64(i5.ECCMax), "i5_ecc_max")
+	b.Logf("Table 2 (paper: i5 -10/-11.2%%, 0/2.7%%, ECC 1..17; i7 -8.4/-15.4%%, 3.7/8%%)\n%s%s", i5, i7)
+}
+
+// BenchmarkDRAMRefreshCharacterization regenerates the Section 6.B
+// DRAM experiment: refresh relaxed from 64 ms with no errors through
+// 1.5 s, BER ~1e-9 at 5 s, within SECDED's 1e-6 capability.
+func BenchmarkDRAMRefreshCharacterization(b *testing.B) {
+	cfg := dram.Config{Channels: 2, DIMMsPerChannel: 1, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45}
+	intervals := []time.Duration{
+		64 * time.Millisecond, 512 * time.Millisecond, time.Second,
+		1500 * time.Millisecond, 3 * time.Second, 5 * time.Second,
+	}
+	var points []dram.SweepPoint
+	for i := 0; i < b.N; i++ {
+		ms, err := dram.New(cfg, dram.DefaultRetentionModel(), rng.New(19))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err = ms.CharacterizeRefresh(intervals, 3, rng.New(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.Logf("refresh %8v: %3d bit errors, BER %.2e, SECDED-safe=%v",
+			p.Refresh, p.BitErrors, p.CumulativeBER, p.SECDEDSafe)
+	}
+	safe, _ := dram.MaxSafeRefresh(points)
+	b.ReportMetric(safe.Seconds(), "zero_error_refresh_s")
+	b.ReportMetric(points[len(points)-1].CumulativeBER*1e9, "ber_at_5s_1e-9")
+	refresh := power.DRAMRefreshModel{DeviceGb: 2, TotalMemW: 10}
+	b.ReportMetric(refresh.SavingsPct(1500*time.Millisecond), "power_savings_%_at_1.5s")
+}
+
+// BenchmarkFigure1PerformanceBins regenerates Figure 1: a fabricated
+// population spreads over distinct performance bins.
+func BenchmarkFigure1PerformanceBins(b *testing.B) {
+	nominal := vfr.Point{VoltageMV: 844, FreqMHz: 2600}
+	ladder := silicon.BinLadder(3600, 100, 12)
+	var stats silicon.PopulationStats
+	for i := 0; i < b.N; i++ {
+		stats = silicon.BinPopulation(silicon.Process28nm(), 2000, 4, nominal, ladder, rng.New(47))
+	}
+	b.ReportMetric(float64(len(stats.PerBin)), "distinct_bins")
+	b.ReportMetric(stats.Yield()*100, "yield_%")
+	for _, bin := range ladder {
+		if n := stats.PerBin[bin.GradeMHz]; n > 0 {
+			b.Logf("bin %4d MHz: %4d parts", bin.GradeMHz, n)
+		}
+	}
+	b.Logf("discarded: %d of %d", stats.Discarded, stats.Total)
+}
+
+// BenchmarkFigure3HypervisorFootprint regenerates Figure 3: four LDBC
+// VM instances; hypervisor footprint stays under 7% of utilized
+// memory.
+func BenchmarkFigure3HypervisorFootprint(b *testing.B) {
+	var res hypervisor.FootprintResult
+	for i := 0; i < b.N; i++ {
+		om := hypervisor.NewObjectMap(hypervisor.DefaultProfiles(), rng.New(29))
+		mem, err := dram.New(dram.Config{Channels: 4, DIMMsPerChannel: 2, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45},
+			dram.DefaultRetentionModel(), rng.New(29))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := hypervisor.New(hypervisor.DefaultConfig(), om, mem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = hypervisor.FootprintExperiment(h, 4, 96, workload.LDBCSocialNetwork())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MaxRatio, "max_footprint_%")
+	b.Logf("Figure 3: max hypervisor footprint %.2f%% of utilized memory (paper: < 7%%), claim holds: %v",
+		res.MaxRatio, res.Claim7Pct)
+}
+
+// BenchmarkFigure4FaultInjectionCampaign regenerates Figure 4: SDC
+// injection into 16,820 hypervisor objects x 5 runs, loaded and
+// unloaded.
+func BenchmarkFigure4FaultInjectionCampaign(b *testing.B) {
+	var loaded, unloaded faultinject.Report
+	for i := 0; i < b.N; i++ {
+		om := hypervisor.NewObjectMap(hypervisor.DefaultProfiles(), rng.New(42))
+		var err error
+		loaded, unloaded, err = faultinject.Figure4(om, faultinject.PaperRuns, rng.New(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(loaded.Total), "failures_loaded")
+	b.ReportMetric(float64(unloaded.Total), "failures_unloaded")
+	b.ReportMetric(faultinject.LoadAmplification(loaded, unloaded), "load_amplification_x")
+	b.Logf("Figure 4 (paper: ~10x more failures with workload; fs/kernel/net sensitive)")
+	for _, c := range hypervisor.Categories() {
+		b.Logf("  %-10s loaded %4d   unloaded %3d", c, loaded.Failures[c], unloaded.Failures[c])
+	}
+}
+
+// BenchmarkTable3TCOProjection regenerates Table 3: EE sources
+// 1.5 x 4 x 2 x 3 = 36x overall, 1.15x TCO from energy alone.
+func BenchmarkTable3TCOProjection(b *testing.B) {
+	var p tco.Table3Projection
+	var err error
+	for i := 0; i < b.N; i++ {
+		p, err = tco.ProjectTable3(tco.DefaultCloudDC(), tco.Table3Gains())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p.OverallEE, "overall_ee_x")
+	b.ReportMetric(p.TCOImprovement, "tco_improvement_x")
+	b.Logf("Table 3: %s", p)
+}
+
+// BenchmarkEdgeEnergyProjection regenerates the Section 6.D worked
+// example: edge runs the 200 ms service at ~50% frequency / 70%
+// voltage for ~75% less power and ~50% less energy.
+func BenchmarkEdgeEnergyProjection(b *testing.B) {
+	var c edge.Comparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		c, err = edge.Compare(edge.PaperExample(), edge.DefaultCloud(), edge.DefaultEdge())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(c.EdgeFreqScale, "edge_freq_scale")
+	b.ReportMetric((1-c.EdgePowerScale)*100, "power_savings_%")
+	b.ReportMetric((1-c.EdgeEnergyScale)*100, "energy_savings_%")
+	b.Logf("Section 6.D: edge freq %.2fx, power -%.0f%%, energy -%.0f%% (paper: -75%%, -50%%)",
+		c.EdgeFreqScale, (1-c.EdgePowerScale)*100, (1-c.EdgeEnergyScale)*100)
+}
+
+// --- Ablations -------------------------------------------------------
+
+// BenchmarkAblationReliableDomain compares kernel exposure with and
+// without the reliable-domain placement at a 5 s relaxed refresh.
+func BenchmarkAblationReliableDomain(b *testing.B) {
+	cfg := dram.Config{Channels: 2, DIMMsPerChannel: 1, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45}
+	var protectedExp, unprotectedExp float64
+	for i := 0; i < b.N; i++ {
+		ms, err := dram.New(cfg, dram.DefaultRetentionModel(), rng.New(47))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, dom := range ms.RelaxedDomains() {
+			if err := dom.SetRefresh(5 * time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		al := dram.NewAllocator(ms)
+		if _, err := al.Alloc("kernel", dram.CriticalityKernel, 1<<16); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := al.Alloc("kernel-unprotected", dram.CriticalityNormal, 1<<16); err != nil {
+			b.Fatal(err)
+		}
+		protectedExp, unprotectedExp = 0, 0
+		for _, e := range al.Exposure() {
+			switch e.Owner {
+			case "kernel":
+				protectedExp += e.ExpectedErrors
+			case "kernel-unprotected":
+				unprotectedExp += e.ExpectedErrors
+			}
+		}
+	}
+	b.ReportMetric(protectedExp, "kernel_exp_errors_reliable")
+	b.ReportMetric(unprotectedExp, "kernel_exp_errors_relaxed")
+	b.Logf("reliable-domain kernel exposure %.3g vs relaxed placement %.3g errors/window",
+		protectedExp, unprotectedExp)
+}
+
+// BenchmarkAblationSelectiveProtection compares fatal-failure counts
+// across protection strategies: none, selective (campaign-derived),
+// and full checkpointing, with the checkpoint byte cost of each.
+func BenchmarkAblationSelectiveProtection(b *testing.B) {
+	var none, selective, full int
+	var selBytes, fullBytes uint64
+	for i := 0; i < b.N; i++ {
+		baselineOM := hypervisor.NewObjectMap(hypervisor.DefaultProfiles(), rng.New(11))
+		baseline, err := faultinject.RunCampaign(baselineOM, true, faultinject.PaperRuns, rng.New(11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		none = baseline.Total
+
+		selOM := hypervisor.NewObjectMap(hypervisor.DefaultProfiles(), rng.New(11))
+		faultinject.PlanProtection(baseline, 0.15).Apply(selOM)
+		selBytes = selOM.ProtectedBytes()
+		rep, err := faultinject.RunCampaign(selOM, true, faultinject.PaperRuns, rng.New(12))
+		if err != nil {
+			b.Fatal(err)
+		}
+		selective = rep.Total
+
+		fullOM := hypervisor.NewObjectMap(hypervisor.DefaultProfiles(), rng.New(11))
+		fullOM.Protect(hypervisor.Categories()...)
+		fullBytes = fullOM.ProtectedBytes()
+		rep, err = faultinject.RunCampaign(fullOM, true, faultinject.PaperRuns, rng.New(12))
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = rep.Total
+	}
+	b.ReportMetric(float64(none), "failures_unprotected")
+	b.ReportMetric(float64(selective), "failures_selective")
+	b.ReportMetric(float64(full), "failures_full")
+	b.Logf("protection: none=%d selective=%d (%.1f KiB) full=%d (%.1f KiB)",
+		none, selective, float64(selBytes)/1024, full, float64(fullBytes)/1024)
+}
+
+// BenchmarkAblationVirusGeneration compares the margins revealed by
+// GA-evolved viruses against random kernels and real workloads: the
+// virus crashes at the highest voltage, so its margin is the safe one.
+func BenchmarkAblationVirusGeneration(b *testing.B) {
+	var virusCrash, randomCrash, benchCrash int
+	for i := 0; i < b.N; i++ {
+		m := cpu.NewMachine(cpu.PartI5_4200U(), 17)
+		res, err := stress.Evolve(stress.DefaultGAConfig(), stress.MaxVoltageNoise, m, 0, rng.New(11))
+		if err != nil {
+			b.Fatal(err)
+		}
+		virusCrash = cpu.WorstCrash(m.UndervoltSweep(0, res.Virus, 3)).CrashVoltageMV
+		randomSrc := rng.New(13)
+		randomCrash = 0
+		for r := 0; r < 8; r++ {
+			g := stress.Genome{
+				VecFrac: randomSrc.Float64(), ALUFrac: randomSrc.Float64(),
+				MemFrac: randomSrc.Float64(), BranchFrac: randomSrc.Float64(),
+				NopFrac: randomSrc.Float64(), BurstPeriod: 1 + randomSrc.Intn(64),
+			}
+			if c := cpu.WorstCrash(m.UndervoltSweep(0, g.Express("rand"), 1)).CrashVoltageMV; c > randomCrash {
+				randomCrash = c
+			}
+		}
+		benchCrash = 0
+		for _, bench := range cpu.SPECSuite() {
+			if c := cpu.WorstCrash(m.UndervoltSweep(0, bench, 3)).CrashVoltageMV; c > benchCrash {
+				benchCrash = c
+			}
+		}
+	}
+	b.ReportMetric(float64(virusCrash), "virus_crash_mV")
+	b.ReportMetric(float64(randomCrash), "random_crash_mV")
+	b.ReportMetric(float64(benchCrash), "spec_crash_mV")
+	b.Logf("crash voltage: GA virus %dmV >= random kernels %dmV ~ SPEC %dmV", virusCrash, randomCrash, benchCrash)
+}
+
+// BenchmarkAblationReliabilityScheduling compares SLA violations under
+// the UniServer policy (reliability metric + SLA filter + proactive
+// migration) against the legacy utilization/energy-only policy.
+func BenchmarkAblationReliabilityScheduling(b *testing.B) {
+	run := func(policy openstack.Policy, seed uint64) openstack.SimResult {
+		nodes := openstack.Fleet(8, 16, 64<<30, rng.New(seed))
+		m, err := openstack.NewManager(policy, nodes...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arrivals, err := workload.Stream(workload.DefaultStreamConfig(), rng.New(seed+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := openstack.RunStream(m, arrivals, openstack.DefaultSimConfig(), rng.New(seed+2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var uni, legacy openstack.SimResult
+	for i := 0; i < b.N; i++ {
+		uni = run(openstack.UniServerPolicy(), 100)
+		legacy = run(openstack.LegacyPolicy(), 100)
+	}
+	b.ReportMetric(float64(uni.SLAViolations), "uniserver_sla_violations")
+	b.ReportMetric(float64(legacy.SLAViolations), "legacy_sla_violations")
+	b.ReportMetric(float64(uni.Migrations), "uniserver_migrations")
+	b.Logf("24h stream: UniServer %d violations (%d migrations) vs legacy %d violations",
+		uni.SLAViolations, uni.Migrations, legacy.SLAViolations)
+}
+
+// BenchmarkAblationPredictorGuidance compares crash rates at the
+// predictor-advised point against a fixed aggressive undervolt and
+// nominal guardbands, at matched window counts.
+func BenchmarkAblationPredictorGuidance(b *testing.B) {
+	var advisedCrashes, aggressiveCrashes int
+	var advisedSavings float64
+	for i := 0; i < b.N; i++ {
+		m := cpu.NewMachine(cpu.PartI5_4200U(), 23)
+		margins := cpu.Margins(cpu.PartI5_4200U(), cpu.SPECSuite(), 3, 23)
+		safe := margins[0].Safe
+		aggressive := safe.WithVoltage(margins[0].CrashPoint.VoltageMV - 5)
+		bench := cpu.SPECSuite()[1] // mcf, the droopiest
+		advisedCrashes, aggressiveCrashes = 0, 0
+		for w := 0; w < 200; w++ {
+			if m.RunAt(0, bench, safe.VoltageMV).Crashed {
+				advisedCrashes++
+			}
+			if m.RunAt(0, bench, aggressive.VoltageMV).Crashed {
+				aggressiveCrashes++
+			}
+		}
+		pm := power.DefaultCPUModel()
+		nominal := cpu.PartI5_4200U().Nominal
+		advisedSavings = 100 * (pm.TotalW(nominal, 0.7, 55) - pm.TotalW(safe, 0.7, 55)) / pm.TotalW(nominal, 0.7, 55)
+	}
+	b.ReportMetric(float64(advisedCrashes), "crashes_at_advised")
+	b.ReportMetric(float64(aggressiveCrashes), "crashes_at_aggressive")
+	b.ReportMetric(advisedSavings, "advised_power_savings_%")
+	b.Logf("200 windows of mcf: advised point %d crashes (%.1f%% power saved), past-margin point %d crashes",
+		advisedCrashes, advisedSavings, aggressiveCrashes)
+}
+
+// BenchmarkAblationEOPFleet compares fleet energy and SLA damage when
+// every node runs at extended operating points versus nominal
+// guardbands, under the UniServer policy.
+func BenchmarkAblationEOPFleet(b *testing.B) {
+	run := func(mode vfr.Mode, seed uint64) openstack.SimResult {
+		nodes := openstack.Fleet(8, 16, 64<<30, rng.New(seed))
+		for _, n := range nodes {
+			n.Mode = mode
+		}
+		m, err := openstack.NewManager(openstack.UniServerPolicy(), nodes...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arrivals, err := workload.Stream(workload.DefaultStreamConfig(), rng.New(seed+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := openstack.RunStream(m, arrivals, openstack.DefaultSimConfig(), rng.New(seed+2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var eop, nominal openstack.SimResult
+	for i := 0; i < b.N; i++ {
+		eop = run(vfr.ModeHighPerformance, 300)
+		nominal = run(vfr.ModeNominal, 300)
+	}
+	b.ReportMetric(eop.EnergyKWh, "eop_kwh")
+	b.ReportMetric(nominal.EnergyKWh, "nominal_kwh")
+	b.ReportMetric(float64(eop.SLAViolations), "eop_sla_violations")
+	b.ReportMetric(float64(nominal.SLAViolations), "nominal_sla_violations")
+	b.Logf("24h fleet: EOP %.1f kWh / %d violations vs nominal %.1f kWh / %d violations",
+		eop.EnergyKWh, eop.SLAViolations, nominal.EnergyKWh, nominal.SLAViolations)
+}
+
+// BenchmarkFigure2EcosystemLoop exercises the full cross-layer loop of
+// Figure 2 end to end: pre-deployment, mode entry, runtime windows.
+func BenchmarkFigure2EcosystemLoop(b *testing.B) {
+	// Figure 2 is the architecture diagram; this bench demonstrates
+	// the wiring rather than a numeric series. See cmd/uniserver for
+	// the narrated version.
+	for i := 0; i < b.N; i++ {
+		if err := runEcosystemOnce(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosedLoopDeployment runs the complete supervised lifecycle
+// (characterize -> deploy -> monitor -> fallback/re-characterize, with
+// aging) and reports the outcome metrics.
+func BenchmarkClosedLoopDeployment(b *testing.B) {
+	var sum core.DeploymentSummary
+	for i := 0; i < b.N; i++ {
+		opts := core.DefaultOptions()
+		opts.Seed = 33
+		opts.Mem = dram.Config{Channels: 2, DIMMsPerChannel: 1, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45}
+		eco, err := core.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eco.PreDeployment(); err != nil {
+			b.Fatal(err)
+		}
+		sum, err = eco.RunDeployment(vfr.ModeHighPerformance, 0.01, workload.WebFrontend(), 240)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sum.WindowsAtEOP), "windows_at_eop")
+	b.ReportMetric(float64(sum.Crashes), "crashes")
+	b.ReportMetric(sum.EnergySavedWh, "energy_saved_wh")
+	b.Logf("closed loop: %d/%d windows at EOP, %d crashes, %.1f Wh saved, aging +%.1f mV",
+		sum.WindowsAtEOP, sum.Windows, sum.Crashes, sum.EnergySavedWh, sum.FinalAgeShiftMV)
+}
+
+func runEcosystemOnce(seed uint64) error {
+	m := cpu.NewMachine(cpu.PartI5_4200U(), seed)
+	margins := cpu.Margins(cpu.PartI5_4200U(), cpu.SPECSuite(), 1, seed)
+	if len(margins) == 0 {
+		return fmt.Errorf("no margins")
+	}
+	for w := 0; w < 20; w++ {
+		if m.RunAt(0, cpu.SPECSuite()[w%8], margins[0].Safe.VoltageMV).Crashed {
+			// Sporadic crash at the safe point is tolerable; the
+			// hypervisor masks it.
+			continue
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package uniserver is a from-scratch Go reproduction of the UniServer
+// ecosystem described in "An Energy-Efficient and Error-Resilient
+// Server Ecosystem Exceeding Conservative Scaling Limits" (Tovletoglou
+// et al., Horizon 2020 grant 688540): per-component Extended Operating
+// Point discovery, HealthLog/StressLog/Predictor monitoring daemons,
+// an error-resilient hypervisor with criticality-driven selective
+// protection, a reliability-aware cloud resource manager, and the
+// supporting silicon-variation, cache-ECC and DRAM-retention
+// simulators.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and bench_test.go for the harness that
+// regenerates every table and figure of the paper's evaluation.
+package uniserver

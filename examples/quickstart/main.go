@@ -1,0 +1,64 @@
+// Quickstart: discover a node's extended operating points, deploy at
+// the advised point, and run a monitored workload — the minimal
+// end-to-end use of the UniServer API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uniserver/internal/core"
+	"uniserver/internal/dram"
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build a node: CPU part + DRAM system + hypervisor, all wired
+	//    to the monitoring daemons.
+	opts := core.DefaultOptions()
+	opts.Seed = 7
+	opts.Mem = dram.Config{Channels: 2, DIMMsPerChannel: 1, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45}
+	eco, err := core.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Pre-deployment: stress campaigns reveal per-core voltage
+	//    margins and the safe DRAM refresh; fault injection teaches
+	//    the hypervisor which of its objects to protect.
+	rep, err := eco.PreDeployment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("characterized components:")
+	for _, comp := range eco.Table().Components() {
+		m, _ := eco.Table().Lookup(comp)
+		fmt.Printf("  %-20s safe point %s\n", comp, m.Safe)
+	}
+	fmt.Printf("predictor trained to %.1f%% accuracy\n\n", rep.PredictorAcc*100)
+
+	// 3. Deploy: enter high-performance mode under a 1% per-window
+	//    risk budget and measure the recovered power.
+	wl := workload.WebFrontend()
+	point, err := eco.EnterMode(vfr.ModeHighPerformance, 0.01, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pw := eco.Power(wl.CPUActivity)
+	fmt.Printf("deployed at %s: %.1f%% CPU power saved, %.1f%% refresh power saved\n",
+		point, pw.SavingsPct, pw.RefreshSavingsPct)
+
+	// 4. Run: the HealthLog records every window; the hypervisor
+	//    masks whatever the margins let through.
+	crashes := 0
+	for i := 0; i < 60; i++ {
+		if eco.RuntimeWindow(wl).Crashed {
+			crashes++
+		}
+	}
+	fmt.Printf("60 windows executed, %d crashes, %d vectors logged\n",
+		crashes, eco.Health.Stats().Recorded)
+}

@@ -1,0 +1,77 @@
+// Virus lab: the Section 3.B stress-test development workflow — evolve
+// diagnostic viruses with the genetic algorithm against a specific
+// machine specimen, compare the margins they reveal against real
+// workloads and the manufacturer guardband, and persist the resulting
+// EOP table the way the StressLog would.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"uniserver/internal/cpu"
+	"uniserver/internal/rng"
+	"uniserver/internal/stress"
+	"uniserver/internal/vfr"
+)
+
+func crashOf(m *cpu.Machine, core int, b cpu.Benchmark) int {
+	total := 0
+	const sweeps = 5
+	for i := 0; i < sweeps; i++ {
+		total += cpu.WorstCrash(m.UndervoltSweep(core, b, 1)).CrashVoltageMV
+	}
+	return total / sweeps
+}
+
+func main() {
+	log.SetFlags(0)
+	spec := cpu.PartI5_4200U()
+	machine := cpu.NewMachine(spec, 2024)
+	core := machine.Chip.WorstCore()
+	fmt.Printf("specimen: %s, characterizing worst core %d (nominal %s)\n\n",
+		spec.Model, core, spec.Nominal)
+
+	// Evolve one virus per objective.
+	for _, obj := range []stress.Objective{stress.MaxVoltageNoise, stress.MaxCacheStress, stress.MaxPower} {
+		res, err := stress.Evolve(stress.DefaultGAConfig(), obj, machine, core, rng.New(99))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s droop=%.2f cache=%.2f activity=%.2f (fitness %.1f, %d generations)\n",
+			obj, res.Virus.DroopIntensity, res.Virus.CacheStress, res.Virus.Activity,
+			res.Fitness, len(res.History))
+	}
+
+	// The margin story: guardband >> virus crash >= every real workload.
+	voltVirus, err := stress.Evolve(stress.DefaultGAConfig(), stress.MaxVoltageNoise, machine, core, rng.New(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	virusCrash := crashOf(machine, core, voltVirus.Virus)
+	fmt.Printf("\ncrash voltages on core %d:\n", core)
+	fmt.Printf("  %-22s %4.0f mV (Table 1 guardbands applied)\n",
+		"manufacturer rating", machine.Chip.GuardbandedVminMV(spec.Nominal.FreqMHz))
+	fmt.Printf("  %-22s %4d mV  <- margins derive from this\n", "GA voltage virus", virusCrash)
+	for _, b := range cpu.SPECSuite() {
+		fmt.Printf("  %-22s %4d mV\n", b.Name, crashOf(machine, core, b))
+	}
+
+	// Publish the virus-derived margins as the StressLog would.
+	table := vfr.NewEOPTable()
+	for c := 0; c < spec.Cores; c++ {
+		crash := crashOf(machine, c, voltVirus.Virus)
+		table.Set(vfr.Margin{
+			Component:  fmt.Sprintf("%s/core%d", spec.Model, c),
+			Nominal:    spec.Nominal,
+			CrashPoint: spec.Nominal.WithVoltage(crash),
+			Safe:       spec.Nominal.WithVoltage(crash + cpu.SafeCushionMV),
+			CushionMV:  cpu.SafeCushionMV,
+		})
+	}
+	fmt.Printf("\npublished EOP table (JSON, as persisted by the StressLog):\n")
+	if err := table.Save(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

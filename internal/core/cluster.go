@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"uniserver/internal/openstack"
+	"uniserver/internal/predictor"
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+// clusterReferenceWorkload is the profile the cluster constructor uses
+// to pick each node's operating point.
+func clusterReferenceWorkload() workload.Profile { return workload.WebFrontend() }
+
+// Node exports the characterized ecosystem as a schedulable cloud
+// node: its failure probability comes from the trained Predictor at
+// the node's current operating point, and its power envelope from the
+// CPU power model — so the OpenStack layer's reliability metric is
+// grounded in the same models that drive the node-level decisions.
+func (e *Ecosystem) Node(name string, memBytes uint64) (*openstack.Node, error) {
+	if e.advisor == nil {
+		return nil, errors.New("core: run PreDeployment before exporting a node")
+	}
+	point := e.Hypervisor.Point()
+	nominal := e.Machine.Spec.Nominal
+
+	// Per-window crash probability at the current point for a
+	// mid-droop workload, as the Predictor sees it.
+	f := predictor.Features{
+		UndervoltPct:   -point.VoltageOffsetPct(nominal.VoltageMV),
+		DroopIntensity: 0.5,
+		TempC:          55,
+	}
+	failProb := e.Model.Predict(f)
+	// The logistic model saturates near 0 at safe points; floor at a
+	// tiny hardware-lottery baseline so scheduling still discriminates.
+	if failProb < 1e-4 {
+		failProb = 1e-4
+	}
+
+	n := openstack.NewNode(name, e.Hypervisor.AvailableCores(), memBytes, failProb)
+	n.Mode = e.mode
+	n.IdlePowerW = e.power.TotalW(point, 0.05, 45)
+	n.BusyPowerW = e.power.TotalW(point, 0.9, 65)
+	if n.BusyPowerW <= n.IdlePowerW {
+		return nil, fmt.Errorf("core: degenerate power envelope for %q", name)
+	}
+	// The mode's risk premium is already baked into failProb via the
+	// operating point; disable the abstract multiplier.
+	n.EOPRiskFactor = 1
+	return n, nil
+}
+
+// Cluster builds a manager over n ecosystems exported as nodes, all
+// entered into the same mode. It is the Figure 2 story at rack scale:
+// every node runs its own daemons and margins; the resource manager
+// sees their reliability and energy characteristics.
+func Cluster(ecos []*Ecosystem, mode vfr.Mode, riskTarget float64, memBytesPerNode uint64, policy openstack.Policy) (*openstack.Manager, error) {
+	if len(ecos) == 0 {
+		return nil, errors.New("core: empty cluster")
+	}
+	nodes := make([]*openstack.Node, 0, len(ecos))
+	for i, e := range ecos {
+		wl := clusterReferenceWorkload()
+		if _, err := e.EnterMode(mode, riskTarget, wl); err != nil {
+			return nil, fmt.Errorf("core: node %d enter mode: %w", i, err)
+		}
+		n, err := e.Node(fmt.Sprintf("uniserver-%02d", i), memBytesPerNode)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	return openstack.NewManager(policy, nodes...)
+}

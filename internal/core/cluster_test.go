@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"uniserver/internal/openstack"
+	"uniserver/internal/rng"
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+func TestNodeExportRequiresPreDeployment(t *testing.T) {
+	e, err := New(smallOptions(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Node("n0", 64<<30); err == nil {
+		t.Fatal("node exported before characterization")
+	}
+}
+
+func TestNodeExportReflectsOperatingPoint(t *testing.T) {
+	e, _ := readyEcosystem(t, 52)
+
+	nominalNode, err := e.Node("nominal", 64<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EnterMode(vfr.ModeHighPerformance, 0.05, workload.WebFrontend()); err != nil {
+		t.Fatal(err)
+	}
+	eopNode, err := e.Node("eop", 64<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if eopNode.BusyPowerW >= nominalNode.BusyPowerW {
+		t.Fatalf("EOP node busy power %.1fW not below nominal %.1fW",
+			eopNode.BusyPowerW, nominalNode.BusyPowerW)
+	}
+	if eopNode.BaseFailProb < nominalNode.BaseFailProb {
+		t.Fatalf("EOP node cannot be more reliable than nominal: %v vs %v",
+			eopNode.BaseFailProb, nominalNode.BaseFailProb)
+	}
+	if eopNode.Mode != vfr.ModeHighPerformance {
+		t.Fatalf("mode = %v", eopNode.Mode)
+	}
+	if eopNode.Cores != e.Hypervisor.AvailableCores() {
+		t.Fatal("core count mismatch")
+	}
+}
+
+func TestClusterSchedulesStream(t *testing.T) {
+	ecos := make([]*Ecosystem, 3)
+	for i := range ecos {
+		e, _ := readyEcosystem(t, 60+uint64(i))
+		ecos[i] = e
+	}
+	m, err := Cluster(ecos, vfr.ModeHighPerformance, 0.05, 64<<30, openstack.UniServerPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Nodes()) != 3 {
+		t.Fatalf("nodes = %d", len(m.Nodes()))
+	}
+	arrivals, err := workload.Stream(workload.StreamConfig{
+		N: 12, MeanGap: 2 * time.Minute, MeanLifetime: time.Hour, MinLifetime: 10 * time.Minute,
+	}, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := openstack.DefaultSimConfig()
+	cfg.Horizon = 3 * time.Hour
+	res, err := openstack.RunStream(m, arrivals, cfg, rng.New(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduled == 0 {
+		t.Fatal("cluster scheduled nothing")
+	}
+	if res.EnergyKWh <= 0 {
+		t.Fatal("no energy integrated")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Cluster(nil, vfr.ModeNominal, 0.05, 1<<30, openstack.UniServerPolicy()); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+}

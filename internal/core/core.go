@@ -1,0 +1,398 @@
+// Package core wires the full UniServer ecosystem of Figure 2: the
+// characterization and monitoring daemons (StressLog, HealthLog,
+// Predictor) under the error-resilient hypervisor, on top of the
+// simulated silicon, cache and DRAM substrates.
+//
+// The lifecycle follows Section 2 and 3 of the paper:
+//
+//  1. Pre-deployment: stress-test the hardware (benchmarks + GA
+//     viruses) to reveal per-component Extended Operating Points;
+//     fault-inject the hypervisor to learn which of its objects need
+//     selective protection; train the failure Predictor on the
+//     campaign's labeled data.
+//  2. Deployment: the Hypervisor applies the Predictor-advised V-F-R
+//     point for the requested mode (high-performance or low-power)
+//     and places critical state on the reliable memory domain.
+//  3. Runtime: the HealthLog records information vectors every window;
+//     the Hypervisor masks errors, isolates faulty resources, and a
+//     correctable-error flood triggers StressLog re-characterization.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"uniserver/internal/cpu"
+	"uniserver/internal/dram"
+	"uniserver/internal/faultinject"
+	"uniserver/internal/healthlog"
+	"uniserver/internal/hypervisor"
+	"uniserver/internal/power"
+	"uniserver/internal/predictor"
+	"uniserver/internal/rng"
+	"uniserver/internal/stresslog"
+	"uniserver/internal/telemetry"
+	"uniserver/internal/thermal"
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+// Options configure an Ecosystem.
+type Options struct {
+	// Seed drives every stochastic component; identical seeds yield
+	// identical ecosystems and experiment outcomes.
+	Seed uint64
+	// Part selects the CPU model (defaults to the i5-4200U of Table 2).
+	Part cpu.PartSpec
+	// Mem configures the DRAM system (defaults to the paper's testbed).
+	Mem dram.Config
+	// Hyp configures the hypervisor host.
+	Hyp hypervisor.Config
+	// StressPeriod is the periodic re-characterization interval
+	// (paper: every 2-3 months).
+	StressPeriod time.Duration
+	// HealthLogOut optionally receives the JSON-lines system logfile.
+	HealthLogOut io.Writer
+}
+
+// DefaultOptions returns the paper-shaped configuration.
+func DefaultOptions() Options {
+	hcfg := hypervisor.DefaultConfig()
+	part := cpu.PartI5_4200U()
+	hcfg.Cores = part.Cores * 4 // SMT-ish host threads for vCPUs
+	hcfg.Nominal = part.Nominal
+	return Options{
+		Seed:         1,
+		Part:         part,
+		Mem:          dram.DefaultConfig(),
+		Hyp:          hcfg,
+		StressPeriod: 75 * 24 * time.Hour, // ~2.5 months
+	}
+}
+
+// Ecosystem is one fully wired UniServer node.
+type Ecosystem struct {
+	Clock      *telemetry.Clock
+	Machine    *cpu.Machine
+	Mem        *dram.MemorySystem
+	Health     *healthlog.Daemon
+	Stress     *stresslog.Daemon
+	Model      *predictor.Model
+	Hypervisor *hypervisor.Hypervisor
+
+	opts     Options
+	src      *rng.Source
+	table    *vfr.EOPTable
+	advisor  *predictor.Advisor
+	power    power.CPUModel
+	refresh  power.DRAMRefreshModel
+	mode     vfr.Mode
+	cpuTherm *thermal.Node
+	memTherm *thermal.Node
+	trip     thermal.Trip
+}
+
+// New builds an ecosystem. Pre-deployment characterization has not run
+// yet; call PreDeployment before EnterMode.
+func New(opts Options) (*Ecosystem, error) {
+	if opts.Part.Cores == 0 {
+		return nil, errors.New("core: options missing a CPU part (use DefaultOptions)")
+	}
+	src := rng.New(opts.Seed)
+	clock := telemetry.NewClock(time.Date(2017, 2, 1, 0, 0, 0, 0, time.UTC))
+	machine := cpu.NewMachine(opts.Part, opts.Seed)
+	mem, err := dram.New(opts.Mem, dram.DefaultRetentionModel(), src.SplitLabeled("dram"))
+	if err != nil {
+		return nil, fmt.Errorf("core: building memory system: %w", err)
+	}
+	health := healthlog.New(healthlog.DefaultConfig(), clock, opts.HealthLogOut)
+	refresh := power.DRAMRefreshModel{DeviceGb: opts.Mem.DeviceGb, TotalMemW: 12}
+	stressd := stresslog.New(clock, machine, mem, health, refresh, opts.StressPeriod)
+	health.OnStressTrigger(stressd.TriggerHandler())
+
+	objects := hypervisor.NewObjectMap(hypervisor.DefaultProfiles(), src.SplitLabeled("objects"))
+	hyp, err := hypervisor.New(opts.Hyp, objects, mem)
+	if err != nil {
+		return nil, fmt.Errorf("core: building hypervisor: %w", err)
+	}
+
+	return &Ecosystem{
+		Clock:      clock,
+		Machine:    machine,
+		Mem:        mem,
+		Health:     health,
+		Stress:     stressd,
+		Model:      predictor.NewModel(),
+		Hypervisor: hyp,
+		opts:       opts,
+		src:        src,
+		power:      power.DefaultCPUModel(),
+		refresh:    refresh,
+		mode:       vfr.ModeNominal,
+		cpuTherm:   thermal.CPUNode(28),
+		memTherm:   thermal.DIMMNode(34),
+		trip:       thermal.DefaultTrip(),
+	}, nil
+}
+
+// Temperatures returns the current die and DIMM temperatures.
+func (e *Ecosystem) Temperatures() (cpuC, dimmC float64) {
+	return e.cpuTherm.TempC, e.memTherm.TempC
+}
+
+// PreDeploymentReport summarizes the characterization phase.
+type PreDeploymentReport struct {
+	Margins          stresslog.MarginVector
+	ProtectedObjects int
+	FaultsInjected   int
+	PredictorSamples int
+	PredictorAcc     float64
+}
+
+// PreDeployment runs the full Section 3 pipeline: StressLog campaign
+// (with viruses), hypervisor fault-injection characterization plus
+// selective protection, and Predictor training on the labeled sweep
+// data.
+func (e *Ecosystem) PreDeployment() (PreDeploymentReport, error) {
+	var rep PreDeploymentReport
+
+	params := stresslog.DefaultTargetParams()
+	vec, err := e.Stress.RunCampaign(params, e.src.SplitLabeled("campaign"))
+	if err != nil {
+		return rep, fmt.Errorf("core: stress campaign: %w", err)
+	}
+	e.table = vec.Table
+	rep.Margins = vec
+
+	// Fault-injection characterization of the hypervisor (loaded run:
+	// the paper shows load reveals an order of magnitude more faults).
+	loaded, err := faultinject.RunCampaign(e.Hypervisor.Objects(), true,
+		faultinject.PaperRuns, e.src.SplitLabeled("fi"))
+	if err != nil {
+		return rep, fmt.Errorf("core: fault injection: %w", err)
+	}
+	rep.FaultsInjected = loaded.Objects * loaded.Runs
+	plan := faultinject.PlanProtection(loaded, 0.15)
+	rep.ProtectedObjects = plan.Apply(e.Hypervisor.Objects())
+
+	// Predictor training from labeled undervolt samples.
+	samples := e.trainingSamples(3000)
+	rep.PredictorSamples = len(samples)
+	if err := e.Model.Fit(samples, 6, e.src.SplitLabeled("fit")); err != nil {
+		return rep, fmt.Errorf("core: predictor training: %w", err)
+	}
+	rep.PredictorAcc = e.Model.Accuracy(samples)
+	e.advisor = predictor.NewAdvisor(e.Model, e.table)
+
+	// The machine returns to service: move past the HealthLog's
+	// error window so campaign-provoked errors (which are expected,
+	// not erratic behaviour) cannot re-trigger stress requests.
+	e.Clock.Advance(2 * time.Hour)
+	return rep, nil
+}
+
+// trainingSamples labels random operating points with crash outcomes
+// from the machine simulator — the data the StressLog sweeps generate.
+func (e *Ecosystem) trainingSamples(n int) []predictor.Sample {
+	src := e.src.SplitLabeled("samples")
+	suite := cpu.SPECSuite()
+	out := make([]predictor.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		b := suite[src.Intn(len(suite))]
+		uv := src.Range(0, 16)
+		v := int(float64(e.Machine.Spec.Nominal.VoltageMV) * (1 - uv/100))
+		res := e.Machine.RunAt(src.Intn(e.Machine.Spec.Cores), b, v)
+		out = append(out, predictor.Sample{
+			F: predictor.Features{
+				UndervoltPct:   uv,
+				DroopIntensity: b.DroopIntensity,
+				TempC:          src.Range(45, 70),
+			},
+			Crashed: res.Crashed,
+		})
+	}
+	return out
+}
+
+// Table returns the published EOP table (nil before PreDeployment).
+func (e *Ecosystem) Table() *vfr.EOPTable { return e.table }
+
+// Mode returns the current operating mode.
+func (e *Ecosystem) Mode() vfr.Mode { return e.mode }
+
+// EnterMode asks the Predictor for the component point satisfying the
+// risk target and applies it through the Hypervisor: the CPU point
+// from the worst core's margin, and the DRAM refresh margin on the
+// relaxed domains.
+func (e *Ecosystem) EnterMode(mode vfr.Mode, riskTarget float64, wl workload.Profile) (vfr.Point, error) {
+	if e.advisor == nil {
+		return vfr.Point{}, errors.New("core: run PreDeployment first")
+	}
+	// The system point must be safe for the worst core: pick the
+	// component with the least headroom.
+	worst := ""
+	worstV := -1
+	for _, comp := range e.table.Components() {
+		m, err := e.table.Lookup(comp)
+		if err != nil {
+			return vfr.Point{}, err
+		}
+		if m.Component == "dram/relaxed" {
+			continue
+		}
+		if m.Safe.VoltageMV > worstV {
+			worst, worstV = comp, m.Safe.VoltageMV
+		}
+	}
+	if worst == "" {
+		return vfr.Point{}, errors.New("core: no CPU margins in table")
+	}
+	adv, err := e.advisor.Advise(worst, mode, predictor.Features{
+		DroopIntensity: wl.DroopIntensity,
+		TempC:          55,
+	}, riskTarget)
+	if err != nil {
+		return vfr.Point{}, err
+	}
+	if err := e.Hypervisor.ApplyPoint(adv.Point); err != nil {
+		return vfr.Point{}, err
+	}
+	if dm, err := e.table.Lookup("dram/relaxed"); err == nil {
+		if err := e.Hypervisor.ApplyRefresh(dm.Safe); err != nil {
+			return vfr.Point{}, err
+		}
+	}
+	e.mode = adv.Mode
+	return adv.Point, nil
+}
+
+// PowerReport compares the node's CPU power at the current point
+// against nominal for the given workload activity.
+type PowerReport struct {
+	Mode       vfr.Mode
+	Point      vfr.Point
+	NominalW   float64
+	CurrentW   float64
+	SavingsPct float64
+	// RefreshSavingsPct is the memory-power saving from the relaxed
+	// refresh interval.
+	RefreshSavingsPct float64
+}
+
+// Power computes the report for a workload activity factor.
+func (e *Ecosystem) Power(activity float64) PowerReport {
+	nominal := e.Machine.Spec.Nominal
+	cur := e.Hypervisor.Point()
+	nomW := e.power.TotalW(nominal, activity, 55)
+	curW := e.power.TotalW(cur, activity, 55)
+	rep := PowerReport{
+		Mode:       e.mode,
+		Point:      cur,
+		NominalW:   nomW,
+		CurrentW:   curW,
+		SavingsPct: 100 * (nomW - curW) / nomW,
+	}
+	if len(e.Mem.RelaxedDomains()) > 0 {
+		rep.RefreshSavingsPct = e.refresh.SavingsPct(e.Mem.RelaxedDomains()[0].Refresh)
+	}
+	return rep
+}
+
+// WindowReport summarizes one runtime observation window.
+type WindowReport struct {
+	Crashed      bool
+	Actions      []hypervisor.Action
+	Correctable  int
+	DRAMHits     map[string]int
+	PendingTests int
+	// CPUTempC and ThermalAlarm report the thermal state: alarm level
+	// 1 is a warning event, 2 forced a fallback to nominal.
+	CPUTempC     float64
+	ThermalAlarm int
+}
+
+// RuntimeWindow advances the deployment by one observation window: the
+// running guests execute at the current point, cache and DRAM errors
+// are sampled, the HealthLog records the information vector, and the
+// Hypervisor applies its masking/isolation policy. A crash (the
+// Predictor got it wrong, or conditions drifted) is reported so the
+// caller can fall back to nominal and trigger re-characterization.
+func (e *Ecosystem) RuntimeWindow(wl workload.Profile) WindowReport {
+	e.Clock.Advance(time.Minute)
+	rep := WindowReport{DRAMHits: map[string]int{}}
+	point := e.Hypervisor.Point()
+	bench := cpu.Benchmark{
+		Name:           wl.Name,
+		DroopIntensity: wl.DroopIntensity,
+		CacheStress:    0.5,
+		Activity:       wl.CPUActivity,
+	}
+	core := e.src.Intn(e.Machine.Spec.Cores)
+	out := e.Machine.RunAt(core, bench, point.VoltageMV)
+	comp := fmt.Sprintf("%s/core%d", e.Machine.Spec.Model, core)
+
+	// Thermal step: dissipated power heats the die; die temperature
+	// feeds back into the leakage term next window. The DIMMs follow
+	// the memory-subsystem power at the current refresh interval, and
+	// the retention model sees the updated temperature.
+	cpuW := e.power.TotalW(point, wl.CPUActivity, e.cpuTherm.TempC)
+	rep.CPUTempC = e.cpuTherm.Step(cpuW, time.Minute)
+	memW := e.refresh.TotalMemW
+	if doms := e.Mem.RelaxedDomains(); len(doms) > 0 {
+		memW = e.refresh.TotalW(doms[0].Refresh)
+	}
+	e.Mem.TempC = e.memTherm.Step(memW, time.Minute)
+
+	vec := telemetry.InfoVector{
+		Component: comp,
+		Point:     point,
+		Sensors: []telemetry.Reading{
+			{Kind: telemetry.SensorVoltage, Value: float64(point.VoltageMV)},
+			{Kind: telemetry.SensorPower, Value: cpuW},
+			{Kind: telemetry.SensorTemperature, Value: rep.CPUTempC},
+		},
+	}
+	rep.ThermalAlarm = e.trip.Check(rep.CPUTempC)
+	if rep.ThermalAlarm > 0 {
+		vec.Errors = append(vec.Errors, telemetry.ErrorEvent{
+			Kind: telemetry.ErrThermal, Component: comp, Count: 1,
+		})
+		if rep.ThermalAlarm == 2 {
+			// Thermal excursions shrink voltage margins: retreat to
+			// nominal until conditions recover.
+			_ = e.HandleCrash()
+		}
+	}
+	if out.Crashed {
+		rep.Crashed = true
+		vec.Errors = append(vec.Errors, telemetry.ErrorEvent{
+			Kind: telemetry.ErrCrash, Component: comp, Count: 1,
+		})
+	}
+	if out.ECCErrors > 0 {
+		rep.Correctable += out.ECCErrors
+		vec.Errors = append(vec.Errors, telemetry.ErrorEvent{
+			Kind: telemetry.ErrCorrectable, Component: comp, Count: out.ECCErrors,
+		})
+		act := e.Hypervisor.HandleError(telemetry.ErrorEvent{
+			Kind: telemetry.ErrCorrectable, Component: comp, Count: out.ECCErrors,
+		}, "", -1, func(string) int { return core })
+		rep.Actions = append(rep.Actions, act)
+	}
+	e.Health.Record(vec)
+
+	// DRAM window: retention errors land on owners; ECC corrects them
+	// (correctable) and the hypervisor masks them from guests.
+	hits := e.Hypervisor.Allocator().SimulateWindow(e.src.SplitLabeled("dramwin"))
+	for owner, n := range hits {
+		rep.DRAMHits[owner] += n
+		act := e.Hypervisor.HandleError(telemetry.ErrorEvent{
+			Kind: telemetry.ErrCorrectable, Component: "dram", Count: n,
+		}, owner, -1, func(string) int { return -1 })
+		rep.Actions = append(rep.Actions, act)
+	}
+	rep.PendingTests = len(e.Stress.Pending())
+	return rep
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"uniserver/internal/silicon"
+	"uniserver/internal/stresslog"
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+// HandleCrash is the ecosystem's safety response when a runtime window
+// crashes at an extended operating point: fall back to the nominal
+// guardbanded point immediately (the hypervisor reconfigures "to
+// operate within safe margins"), and queue a re-characterization so
+// the StressLog can publish updated margins.
+func (e *Ecosystem) HandleCrash() error {
+	nominal := e.Machine.Spec.Nominal
+	if err := e.Hypervisor.ApplyPoint(nominal); err != nil {
+		return fmt.Errorf("core: falling back to nominal: %w", err)
+	}
+	// DRAM falls back to the JEDEC interval too.
+	for _, dom := range e.Mem.RelaxedDomains() {
+		if err := dom.SetRefresh(vfr.NominalRefresh); err != nil {
+			return err
+		}
+	}
+	e.mode = vfr.ModeNominal
+	return nil
+}
+
+// Recharacterize runs a fresh StressLog campaign (the machine goes
+// offline for its duration), refreshes the EOP table and the advisor,
+// and returns the new margin vector.
+func (e *Ecosystem) Recharacterize() (stresslog.MarginVector, error) {
+	vec, err := e.Stress.RunCampaign(stresslog.DefaultTargetParams(), e.src.Split())
+	if err != nil {
+		return stresslog.MarginVector{}, err
+	}
+	e.table = vec.Table
+	e.advisor.Table = vec.Table
+	// Flush campaign-provoked errors out of the trigger window.
+	e.Clock.Advance(2 * time.Hour)
+	return vec, nil
+}
+
+// DeploymentSummary aggregates a long-horizon supervised deployment.
+type DeploymentSummary struct {
+	Windows            int
+	Crashes            int
+	Fallbacks          int
+	Recharacterized    int
+	WindowsAtEOP       int
+	WindowsAtNominal   int
+	EnergySavedWh      float64
+	CorrectableMasked  int
+	FinalAgeShiftMV    float64
+	FinalSafeVoltageMV int
+}
+
+// RunDeployment supervises `windows` observation windows of the given
+// workload in the requested mode, implementing the full closed loop of
+// Figure 2: crashes trigger an immediate nominal fallback plus
+// re-characterization and mode re-entry; HealthLog error-threshold
+// triggers and the periodic schedule also force campaigns; the silicon
+// ages continuously so later campaigns publish drifted margins.
+func (e *Ecosystem) RunDeployment(mode vfr.Mode, riskTarget float64, wl workload.Profile, windows int) (DeploymentSummary, error) {
+	var sum DeploymentSummary
+	if _, err := e.EnterMode(mode, riskTarget, wl); err != nil {
+		return sum, err
+	}
+	aging := silicon.DefaultAgingModel()
+	nominalW := e.power.TotalW(e.Machine.Spec.Nominal, wl.CPUActivity, 55)
+
+	for w := 0; w < windows; w++ {
+		rep := e.RuntimeWindow(wl)
+		sum.Windows++
+		sum.CorrectableMasked += rep.Correctable
+		if e.mode == vfr.ModeNominal {
+			sum.WindowsAtNominal++
+		} else {
+			sum.WindowsAtEOP++
+		}
+		// Energy ledger: each window is one simulated minute.
+		curW := e.power.TotalW(e.Hypervisor.Point(), wl.CPUActivity, 55)
+		sum.EnergySavedWh += (nominalW - curW) / 60
+
+		// Continuous aging at the workload's stress level.
+		e.Machine.Chip.Age(aging, time.Minute, wl.CPUActivity)
+
+		needCampaign := false
+		if rep.Crashed {
+			sum.Crashes++
+			sum.Fallbacks++
+			if err := e.HandleCrash(); err != nil {
+				return sum, err
+			}
+			needCampaign = true
+		}
+		if rep.PendingTests > 0 || e.Stress.DuePeriodic() {
+			needCampaign = true
+		}
+		if needCampaign {
+			if _, err := e.Recharacterize(); err != nil {
+				return sum, err
+			}
+			sum.Recharacterized++
+			if _, err := e.EnterMode(mode, riskTarget, wl); err != nil {
+				return sum, err
+			}
+		}
+	}
+
+	sum.FinalAgeShiftMV = e.Machine.Chip.AgeShiftMV
+	if m, err := e.worstCPUMargin(); err == nil {
+		sum.FinalSafeVoltageMV = m.Safe.VoltageMV
+	}
+	return sum, nil
+}
+
+// worstCPUMargin returns the CPU margin with the least headroom.
+func (e *Ecosystem) worstCPUMargin() (vfr.Margin, error) {
+	var worst vfr.Margin
+	found := false
+	for _, comp := range e.table.Components() {
+		m, err := e.table.Lookup(comp)
+		if err != nil {
+			return vfr.Margin{}, err
+		}
+		if m.Component == "dram/relaxed" {
+			continue
+		}
+		if !found || m.Safe.VoltageMV > worst.Safe.VoltageMV {
+			worst, found = m, true
+		}
+	}
+	if !found {
+		return vfr.Margin{}, fmt.Errorf("core: no CPU margins")
+	}
+	return worst, nil
+}

@@ -1,0 +1,141 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+
+	"uniserver/internal/stats"
+	"uniserver/internal/vfr"
+)
+
+// Table2Row aggregates a full characterization campaign on one part
+// into the quantities reported in Table 2 of the paper.
+type Table2Row struct {
+	Model string
+	// CrashMinPct/CrashMaxPct are the minimum and maximum voltage
+	// offsets below nominal (in positive percent) at which the system
+	// crashed, across all benchmarks and cores.
+	CrashMinPct, CrashMaxPct float64
+	// CoreVarMinPct/CoreVarMaxPct are the minimum and maximum
+	// core-to-core variability of the crash point among all cores for
+	// the same benchmark (percent difference between the most and
+	// least resilient core's crash offsets).
+	CoreVarMinPct, CoreVarMaxPct float64
+	// ECCMin/ECCMax are the minimum and maximum number of correctable
+	// cache ECC errors observed in a single sweep that exposed any.
+	ECCMin, ECCMax int
+	// HasECC reports whether the part exposed cache ECC events at all.
+	HasECC bool
+	// ECCOnsetGapMeanMV is the mean gap between the voltage where ECC
+	// errors first appeared and the crash voltage (paper: ~15 mV).
+	ECCOnsetGapMeanMV float64
+}
+
+// String renders the row in the layout of Table 2.
+func (r Table2Row) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", r.Model)
+	fmt.Fprintf(&b, "  crash points below nominal VID: min=-%.1f%% max=-%.1f%%\n", r.CrashMinPct, r.CrashMaxPct)
+	fmt.Fprintf(&b, "  core-to-core variation:         min=%.1f%% max=%.1f%%\n", r.CoreVarMinPct, r.CoreVarMaxPct)
+	if r.HasECC {
+		fmt.Fprintf(&b, "  cache ECC errors:               min=%d max=%d (onset %.0f mV above crash)\n",
+			r.ECCMin, r.ECCMax, r.ECCOnsetGapMeanMV)
+	} else {
+		fmt.Fprintf(&b, "  cache ECC errors:               not exposed\n")
+	}
+	return b.String()
+}
+
+// Characterize runs the paper's Section 6.A campaign on one part:
+// for every benchmark in the suite and every core, perform `runs`
+// consecutive undervolt sweeps, then aggregate crash points,
+// core-to-core variation and ECC statistics into a Table2Row.
+func Characterize(spec PartSpec, suite []Benchmark, runs int, seed uint64) Table2Row {
+	m := NewMachine(spec, seed)
+	row := Table2Row{Model: spec.Model, HasECC: spec.ExposesCacheECC}
+
+	var allOffsets []float64
+	var coreVars []float64
+	var onsetGaps []float64
+	eccMin, eccMax := 0, 0
+
+	for _, b := range suite {
+		// Per-benchmark crash offset per core (worst of `runs`).
+		perCore := make([]float64, spec.Cores)
+		for core := 0; core < spec.Cores; core++ {
+			results := m.UndervoltSweep(core, b, runs)
+			worst := WorstCrash(results)
+			perCore[core] = worst.CrashOffsetPct
+			allOffsets = append(allOffsets, worst.CrashOffsetPct)
+			for _, r := range results {
+				if r.ECCErrors > 0 {
+					if eccMin == 0 || r.ECCErrors < eccMin {
+						eccMin = r.ECCErrors
+					}
+					if r.ECCErrors > eccMax {
+						eccMax = r.ECCErrors
+					}
+					onsetGaps = append(onsetGaps, float64(r.ECCOnsetMV-r.CrashVoltageMV))
+				}
+			}
+		}
+		coreVars = append(coreVars, coreToCoreVariationPct(perCore))
+	}
+
+	row.CrashMinPct = stats.Min(allOffsets)
+	row.CrashMaxPct = stats.Max(allOffsets)
+	row.CoreVarMinPct = stats.Min(coreVars)
+	row.CoreVarMaxPct = stats.Max(coreVars)
+	row.ECCMin, row.ECCMax = eccMin, eccMax
+	if len(onsetGaps) > 0 {
+		row.ECCOnsetGapMeanMV = stats.Mean(onsetGaps)
+	}
+	return row
+}
+
+// coreToCoreVariationPct returns the percent difference between the
+// largest and smallest crash offsets across cores for one benchmark,
+// relative to the smallest: the "variability among all available cores
+// for the same benchmark" of Table 2.
+func coreToCoreVariationPct(offsets []float64) float64 {
+	if len(offsets) < 2 {
+		return 0
+	}
+	lo, hi := stats.Min(offsets), stats.Max(offsets)
+	if lo <= 0 {
+		return 0
+	}
+	return 100 * (hi - lo) / lo
+}
+
+// SafeCushionMV is the voltage cushion the StressLog adds above the
+// observed crash point before publishing a safe extended operating
+// point: it must cover at least the ECC-onset window so that the
+// published point sits above the region where correctable errors ramp.
+const SafeCushionMV = 25
+
+// Margins converts a characterization campaign into per-core safe
+// margins for the EOP table: each core's published safe voltage is its
+// worst observed crash voltage across the suite plus SafeCushionMV.
+func Margins(spec PartSpec, suite []Benchmark, runs int, seed uint64) []vfr.Margin {
+	m := NewMachine(spec, seed)
+	margins := make([]vfr.Margin, spec.Cores)
+	for core := 0; core < spec.Cores; core++ {
+		worstCrash := 0
+		for _, b := range suite {
+			w := WorstCrash(m.UndervoltSweep(core, b, runs))
+			if w.CrashVoltageMV > worstCrash {
+				worstCrash = w.CrashVoltageMV
+			}
+		}
+		safe := worstCrash + SafeCushionMV
+		margins[core] = vfr.Margin{
+			Component:  fmt.Sprintf("%s/core%d", spec.Model, core),
+			Nominal:    spec.Nominal,
+			CrashPoint: spec.Nominal.WithVoltage(worstCrash),
+			Safe:       spec.Nominal.WithVoltage(safe),
+			CushionMV:  SafeCushionMV,
+		}
+	}
+	return margins
+}

@@ -1,0 +1,267 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"uniserver/internal/vfr"
+)
+
+func TestSPECSuiteComposition(t *testing.T) {
+	suite := SPECSuite()
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d benchmarks, want 8", len(suite))
+	}
+	want := map[string]bool{"bzip2": true, "mcf": true, "namd": true, "milc": true,
+		"hmmer": true, "h264ref": true, "gobmk": true, "zeusmp": true}
+	for _, b := range suite {
+		if !want[b.Name] {
+			t.Errorf("unexpected benchmark %q", b.Name)
+		}
+		if b.DroopIntensity < 0 || b.DroopIntensity > 1 {
+			t.Errorf("%s droop intensity out of range", b.Name)
+		}
+		if b.CacheStress < 0 || b.CacheStress > 1 {
+			t.Errorf("%s cache stress out of range", b.Name)
+		}
+		if b.Activity <= 0 || b.Activity > 1 {
+			t.Errorf("%s activity out of range", b.Name)
+		}
+	}
+}
+
+func TestBenchmarkByName(t *testing.T) {
+	b, err := BenchmarkByName("mcf")
+	if err != nil || b.Name != "mcf" {
+		t.Fatalf("BenchmarkByName(mcf) = %+v, %v", b, err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestPartSpecs(t *testing.T) {
+	i5 := PartI5_4200U()
+	if i5.Nominal.VoltageMV != 844 || i5.Nominal.FreqMHz != 2600 || i5.Cores != 2 {
+		t.Fatalf("i5 spec wrong: %+v", i5)
+	}
+	if !i5.ExposesCacheECC {
+		t.Fatal("i5 must expose cache ECC (paper observed errors only there)")
+	}
+	i7 := PartI7_3970X()
+	if i7.Nominal.VoltageMV != 1365 || i7.Nominal.FreqMHz != 4000 || i7.Cores != 6 {
+		t.Fatalf("i7 spec wrong: %+v", i7)
+	}
+	if i7.ExposesCacheECC {
+		t.Fatal("i7 must not expose cache ECC")
+	}
+}
+
+func TestMachineDeterministic(t *testing.T) {
+	a := NewMachine(PartI5_4200U(), 1)
+	b := NewMachine(PartI5_4200U(), 1)
+	ra := a.UndervoltSweep(0, SPECSuite()[0], 3)
+	rb := b.UndervoltSweep(0, SPECSuite()[0], 3)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("sweep diverged at run %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestRunAtNominalNeverCrashes(t *testing.T) {
+	m := NewMachine(PartI5_4200U(), 2)
+	for _, b := range SPECSuite() {
+		for core := 0; core < m.Spec.Cores; core++ {
+			for r := 0; r < 5; r++ {
+				out := m.RunAt(core, b, m.Spec.Nominal.VoltageMV)
+				if out.Crashed {
+					t.Fatalf("crash at nominal voltage: %s core %d", b.Name, core)
+				}
+				if out.ECCErrors != 0 {
+					t.Fatalf("ECC errors at nominal voltage: %s core %d", b.Name, core)
+				}
+			}
+		}
+	}
+}
+
+func TestRunAtDeepUndervoltCrashes(t *testing.T) {
+	m := NewMachine(PartI7_3970X(), 3)
+	deep := m.Spec.Nominal.VoltageMV * 70 / 100 // -30%
+	for _, b := range SPECSuite() {
+		if out := m.RunAt(0, b, deep); !out.Crashed {
+			t.Fatalf("no crash at -30%% undervolt for %s", b.Name)
+		}
+	}
+}
+
+func TestSweepFindsCrash(t *testing.T) {
+	m := NewMachine(PartI5_4200U(), 4)
+	rs := m.UndervoltSweep(0, SPECSuite()[0], 3)
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if r.CrashVoltageMV <= 0 || r.CrashVoltageMV >= m.Spec.Nominal.VoltageMV {
+			t.Fatalf("implausible crash voltage %d", r.CrashVoltageMV)
+		}
+		if r.CrashOffsetPct <= 0 {
+			t.Fatalf("crash offset should be positive percent, got %v", r.CrashOffsetPct)
+		}
+		if r.ECCOnsetMV != 0 && r.ECCOnsetMV < r.CrashVoltageMV {
+			t.Fatalf("ECC onset %d below crash %d", r.ECCOnsetMV, r.CrashVoltageMV)
+		}
+	}
+}
+
+func TestWorstCrashSelectsHighestVoltage(t *testing.T) {
+	rs := []SweepResult{
+		{CrashVoltageMV: 750}, {CrashVoltageMV: 762}, {CrashVoltageMV: 755},
+	}
+	if got := WorstCrash(rs); got.CrashVoltageMV != 762 {
+		t.Fatalf("WorstCrash = %d, want 762", got.CrashVoltageMV)
+	}
+}
+
+func TestWorstCrashPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WorstCrash(nil)
+}
+
+// TestTable2I5 checks the i5-4200U row of Table 2: crash points around
+// −10%..−11.2%, core-to-core variation 0%..2.7%, cache ECC errors in
+// the 1..17 range with onset ~15 mV above crash. The simulator is
+// calibrated, not fitted per-seed, so the assertions use tolerance
+// bands around the published values.
+func TestTable2I5(t *testing.T) {
+	row := Characterize(PartI5_4200U(), SPECSuite(), 3, 42)
+	if row.CrashMinPct < 9.0 || row.CrashMinPct > 11.5 {
+		t.Errorf("i5 crash min = %.2f%%, want ~10%%", row.CrashMinPct)
+	}
+	if row.CrashMaxPct < 10.0 || row.CrashMaxPct > 12.5 {
+		t.Errorf("i5 crash max = %.2f%%, want ~11.2%%", row.CrashMaxPct)
+	}
+	if row.CrashMaxPct <= row.CrashMinPct {
+		t.Errorf("crash max (%.2f) must exceed min (%.2f)", row.CrashMaxPct, row.CrashMinPct)
+	}
+	if row.CoreVarMinPct > 1.0 {
+		t.Errorf("i5 core-to-core min = %.2f%%, want ~0%%", row.CoreVarMinPct)
+	}
+	if row.CoreVarMaxPct > 5.0 {
+		t.Errorf("i5 core-to-core max = %.2f%%, want ~2.7%%", row.CoreVarMaxPct)
+	}
+	if !row.HasECC {
+		t.Fatal("i5 must expose ECC")
+	}
+	if row.ECCMin < 1 || row.ECCMin > 5 {
+		t.Errorf("i5 ECC min = %d, want small (paper: 1)", row.ECCMin)
+	}
+	if row.ECCMax < 8 || row.ECCMax > 40 {
+		t.Errorf("i5 ECC max = %d, want ~17", row.ECCMax)
+	}
+	if row.ECCOnsetGapMeanMV < 5 || row.ECCOnsetGapMeanMV > 25 {
+		t.Errorf("i5 ECC onset gap = %.1f mV, want ~15", row.ECCOnsetGapMeanMV)
+	}
+}
+
+// TestTable2I7 checks the i7-3970X row: crash points −8.4%..−15.4%,
+// core-to-core variation 3.7%..8%, and no exposed cache ECC.
+func TestTable2I7(t *testing.T) {
+	row := Characterize(PartI7_3970X(), SPECSuite(), 3, 42)
+	if row.CrashMinPct < 7.0 || row.CrashMinPct > 10.5 {
+		t.Errorf("i7 crash min = %.2f%%, want ~8.4%%", row.CrashMinPct)
+	}
+	if row.CrashMaxPct < 13.0 || row.CrashMaxPct > 18.0 {
+		t.Errorf("i7 crash max = %.2f%%, want ~15.4%%", row.CrashMaxPct)
+	}
+	if row.CoreVarMinPct < 1.0 || row.CoreVarMinPct > 6.5 {
+		t.Errorf("i7 core-to-core min = %.2f%%, want ~3.7%%", row.CoreVarMinPct)
+	}
+	if row.CoreVarMaxPct < 5.0 || row.CoreVarMaxPct > 12.0 {
+		t.Errorf("i7 core-to-core max = %.2f%%, want ~8%%", row.CoreVarMaxPct)
+	}
+	if row.HasECC || row.ECCMax != 0 {
+		t.Errorf("i7 must not report ECC errors, got max=%d", row.ECCMax)
+	}
+	// The high-end part shows wider benchmark-driven spread than the
+	// low-end part — the qualitative Table 2 shape.
+	i5 := Characterize(PartI5_4200U(), SPECSuite(), 3, 42)
+	if (row.CrashMaxPct - row.CrashMinPct) <= (i5.CrashMaxPct - i5.CrashMinPct) {
+		t.Errorf("i7 crash spread should exceed i5 spread")
+	}
+}
+
+func TestTable2RowString(t *testing.T) {
+	row := Characterize(PartI5_4200U(), SPECSuite(), 3, 1)
+	s := row.String()
+	if !strings.Contains(s, "i5-4200U") || !strings.Contains(s, "crash points") {
+		t.Fatalf("row rendering incomplete:\n%s", s)
+	}
+	row7 := Characterize(PartI7_3970X(), SPECSuite(), 3, 1)
+	if !strings.Contains(row7.String(), "not exposed") {
+		t.Fatal("i7 rendering should note ECC not exposed")
+	}
+}
+
+func TestCoreToCoreVariationPct(t *testing.T) {
+	if got := coreToCoreVariationPct([]float64{10, 10.27}); got < 2.6 || got > 2.8 {
+		t.Fatalf("variation = %v, want ~2.7", got)
+	}
+	if got := coreToCoreVariationPct([]float64{10}); got != 0 {
+		t.Fatalf("single-core variation = %v, want 0", got)
+	}
+	if got := coreToCoreVariationPct([]float64{0, 1}); got != 0 {
+		t.Fatalf("degenerate variation = %v, want 0", got)
+	}
+}
+
+func TestMarginsPublishSafePoints(t *testing.T) {
+	spec := PartI5_4200U()
+	margins := Margins(spec, SPECSuite(), 3, 9)
+	if len(margins) != spec.Cores {
+		t.Fatalf("got %d margins, want %d", len(margins), spec.Cores)
+	}
+	tab := vfr.NewEOPTable()
+	for _, m := range margins {
+		if m.Safe.VoltageMV != m.CrashPoint.VoltageMV+SafeCushionMV {
+			t.Errorf("%s: safe %d != crash %d + cushion", m.Component, m.Safe.VoltageMV, m.CrashPoint.VoltageMV)
+		}
+		if m.Safe.VoltageMV >= spec.Nominal.VoltageMV {
+			t.Errorf("%s: no recovered margin", m.Component)
+		}
+		if h := m.UndervoltHeadroomPct(); h < 5 {
+			t.Errorf("%s: headroom %.1f%%, want >= 5%%", m.Component, h)
+		}
+		tab.Set(m)
+	}
+	worst, err := tab.WorstCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.VoltageMV >= spec.Nominal.VoltageMV {
+		t.Fatal("even worst-case EOP should beat nominal")
+	}
+}
+
+func BenchmarkUndervoltSweep(b *testing.B) {
+	m := NewMachine(PartI5_4200U(), 1)
+	bench := SPECSuite()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.UndervoltSweep(i%m.Spec.Cores, bench, 1)
+	}
+}
+
+func BenchmarkCharacterize(b *testing.B) {
+	spec := PartI5_4200U()
+	suite := SPECSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Characterize(spec, suite, 3, uint64(i))
+	}
+}

@@ -1,0 +1,30 @@
+package cpu_test
+
+import (
+	"fmt"
+
+	"uniserver/internal/cpu"
+)
+
+// Characterize one specimen of the paper's low-end part and read the
+// Table 2 quantities off the result.
+func ExampleCharacterize() {
+	row := cpu.Characterize(cpu.PartI5_4200U(), cpu.SPECSuite(), 3, 42)
+	fmt.Printf("crash band: -%.1f%% .. -%.1f%%\n", row.CrashMinPct, row.CrashMaxPct)
+	fmt.Printf("cache ECC exposed: %v\n", row.HasECC)
+	// Output:
+	// crash band: -9.2% .. -10.4%
+	// cache ECC exposed: true
+}
+
+// An undervolt sweep descends from nominal until the run crashes,
+// collecting correctable cache ECC events on the way down.
+func ExampleMachine_UndervoltSweep() {
+	m := cpu.NewMachine(cpu.PartI5_4200U(), 7)
+	bench, _ := cpu.BenchmarkByName("mcf")
+	worst := cpu.WorstCrash(m.UndervoltSweep(0, bench, 3))
+	fmt.Printf("mcf crashes core 0 at %d mV (%.1f%% below nominal)\n",
+		worst.CrashVoltageMV, worst.CrashOffsetPct)
+	// Output:
+	// mcf crashes core 0 at 760 mV (10.0% below nominal)
+}

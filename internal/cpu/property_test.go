@@ -1,0 +1,85 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestCrashMonotoneInVoltageProperty: if a run crashes at voltage v,
+// an identical run at any lower voltage also crashes (using a machine
+// clone so both runs consume identical noise draws).
+func TestCrashMonotoneInVoltageProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, benchIdx, coreRaw uint8, uvRaw uint16) bool {
+		spec := PartI5_4200U()
+		b := SPECSuite()[int(benchIdx)%8]
+		core := int(coreRaw) % spec.Cores
+		uv := int(uvRaw)%150 + 1 // 1..150 mV below nominal
+
+		m1 := NewMachine(spec, seed)
+		m2 := NewMachine(spec, seed)
+		hi := m1.RunAt(core, b, spec.Nominal.VoltageMV-uv)
+		lo := m2.RunAt(core, b, spec.Nominal.VoltageMV-uv-20)
+		// Crash at the higher voltage implies crash 20 mV lower.
+		if hi.Crashed && !lo.Crashed {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepInvariantsProperty: every sweep terminates with a crash
+// voltage strictly inside (0, nominal), offsets are consistent with
+// the crash voltage, and ECC errors never appear on parts that hide
+// them.
+func TestSweepInvariantsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, benchIdx uint8, useI7 bool) bool {
+		spec := PartI5_4200U()
+		if useI7 {
+			spec = PartI7_3970X()
+		}
+		m := NewMachine(spec, seed)
+		b := SPECSuite()[int(benchIdx)%8]
+		for _, r := range m.UndervoltSweep(0, b, 2) {
+			if r.CrashVoltageMV <= 0 || r.CrashVoltageMV >= spec.Nominal.VoltageMV {
+				return false
+			}
+			wantOffset := 100 * float64(spec.Nominal.VoltageMV-r.CrashVoltageMV) / float64(spec.Nominal.VoltageMV)
+			if diff := r.CrashOffsetPct - wantOffset; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+			if !spec.ExposesCacheECC && r.ECCErrors != 0 {
+				return false
+			}
+			if r.ECCErrors > 0 && r.ECCOnsetMV <= r.CrashVoltageMV {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarginsAlwaysBelowNominalProperty: published safe points always
+// recover some margin yet stay above the observed crash point.
+func TestMarginsAlwaysBelowNominalProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		spec := PartI5_4200U()
+		for _, m := range Margins(spec, SPECSuite(), 2, seed) {
+			if m.Safe.VoltageMV >= spec.Nominal.VoltageMV {
+				return false
+			}
+			if m.Safe.VoltageMV != m.CrashPoint.VoltageMV+SafeCushionMV {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package dram
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"uniserver/internal/ecc"
+	"uniserver/internal/rng"
+)
+
+// Controller is a SECDED-protected memory controller over one refresh
+// domain: it stores 64-bit words as Hamming(72,64) codewords, lets
+// retention failures corrupt stored bits when the refresh interval
+// exceeds a weak cell's retention time, and corrects/detects on read.
+//
+// It is the mechanism behind the paper's Section 6.B note that
+// "classical ECC-SECDED can handle error rates up to 1e-6": at the
+// relaxed refresh intervals the characterization publishes, the raw
+// bit error rate stays orders of magnitude below the SECDED limit, so
+// reads come back clean (or corrected) and the relaxation is free.
+type Controller struct {
+	dom   *Domain
+	model RetentionModel
+	tempC float64
+
+	// words maps word index -> stored codeword. Only written words
+	// are tracked (the simulator does not allocate 8 GB).
+	words map[uint64]ecc.Codeword
+	// written remembers the write time of each word so retention
+	// expiry applies per word.
+	written map[uint64]time.Time
+	// weakByWord indexes the domain's weak cells by word.
+	weakByWord map[uint64][]WeakCell
+
+	counters ecc.Counters
+}
+
+// NewController builds a controller over a domain.
+func NewController(dom *Domain, model RetentionModel, tempC float64) (*Controller, error) {
+	if dom == nil {
+		return nil, errors.New("dram: controller needs a domain")
+	}
+	c := &Controller{
+		dom:        dom,
+		model:      model,
+		tempC:      tempC,
+		words:      make(map[uint64]ecc.Codeword),
+		written:    make(map[uint64]time.Time),
+		weakByWord: make(map[uint64][]WeakCell),
+	}
+	// Index weak cells by 72-bit codeword slot. Words are stored as
+	// 72-bit codewords laid out consecutively; a weak cell's bit
+	// offset lands in word offset/72, codeword bit offset%72.
+	var base uint64
+	for _, dimm := range dom.DIMMs {
+		for _, cell := range dimm.Weak {
+			abs := base + cell.Offset
+			word := abs / 72
+			c.weakByWord[word] = append(c.weakByWord[word], WeakCell{
+				Offset:       abs % 72,
+				RetentionSec: cell.RetentionSec,
+				TrueCell:     cell.TrueCell,
+			})
+		}
+		base += dimm.Bits()
+	}
+	return c, nil
+}
+
+// Words returns the number of addressable 64-bit words.
+func (c *Controller) Words() uint64 { return c.dom.Bits() / 72 }
+
+// Write stores a 64-bit word at the given word index at time now.
+func (c *Controller) Write(word uint64, data uint64, now time.Time) error {
+	if word >= c.Words() {
+		return fmt.Errorf("dram: word %d out of range", word)
+	}
+	c.words[word] = ecc.Encode(data)
+	c.written[word] = now
+	return nil
+}
+
+// Read fetches a word at time now, applying any retention corruption
+// the current refresh interval permits, then decoding through SECDED.
+// The pattern sensitivity of retention failures is resolved by the
+// stored bit value versus the cell's polarity: a true cell only leaks
+// when it stores 1, an anti cell when it stores 0.
+func (c *Controller) Read(word uint64, now time.Time, src *rng.Source) (uint64, ecc.Result, error) {
+	cw, ok := c.words[word]
+	if !ok {
+		return 0, ecc.OK, fmt.Errorf("dram: word %d was never written", word)
+	}
+	interval := c.dom.Refresh.Seconds()
+	tempScale := c.model.tempScale(c.tempC)
+	// A cell loses its charge when its retention (at temperature) is
+	// below the refresh interval; the data has then been wrong since
+	// roughly one refresh window after the write.
+	if now.Sub(c.written[word]).Seconds() >= interval {
+		corrupted := cw
+		flips := 0
+		for _, cell := range c.weakByWord[word] {
+			if cell.RetentionSec*tempScale >= interval {
+				continue
+			}
+			// Polarity gate: leak direction must oppose stored value.
+			bit := codewordBit(corrupted, uint(cell.Offset))
+			leaks := (cell.TrueCell && bit == 1) || (!cell.TrueCell && bit == 0)
+			if leaks {
+				corrupted.FlipBit(uint(cell.Offset))
+				flips++
+			}
+		}
+		_ = flips
+		cw = corrupted
+	}
+	data, res, _ := ecc.Decode(cw)
+	c.counters.Observe(res)
+	if res == ecc.Corrected {
+		// Scrub: write back the corrected word.
+		c.words[word] = ecc.Encode(data)
+		c.written[word] = now
+	}
+	_ = src
+	return data, res, nil
+}
+
+// codewordBit reads bit pos from a codeword without mutating it.
+func codewordBit(c ecc.Codeword, pos uint) uint {
+	if pos < 64 {
+		return uint(c.Lo>>pos) & 1
+	}
+	return uint(c.Hi>>(pos-64)) & 1
+}
+
+// Counters returns the controller's ECC statistics.
+func (c *Controller) Counters() ecc.Counters { return c.counters }
+
+// ScrubPass reads back every written word at time now, correcting
+// single-bit upsets and counting uncorrectable words. It returns the
+// number of corrected and uncorrectable words in this pass.
+func (c *Controller) ScrubPass(now time.Time, src *rng.Source) (corrected, uncorrectable int) {
+	for word := range c.words {
+		_, res, err := c.Read(word, now, src)
+		if err != nil {
+			continue
+		}
+		switch res {
+		case ecc.Corrected:
+			corrected++
+		case ecc.Detected:
+			uncorrectable++
+		}
+	}
+	return corrected, uncorrectable
+}
+
+// WeakWordCount returns how many addressable words contain at least
+// one tracked weak cell — the population at risk under deep refresh
+// relaxation.
+func (c *Controller) WeakWordCount() int { return len(c.weakByWord) }

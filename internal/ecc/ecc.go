@@ -1,0 +1,206 @@
+// Package ecc implements the SECDED (single-error-correct,
+// double-error-detect) Hamming(72,64) code used throughout server
+// memory systems, and which the paper relies on both for on-chip cache
+// arrays near Vmin (Section 6.A) and as the classical DRAM protection
+// reference ("classical ECC-SECDED can handle error rates up to 1e-6",
+// Section 6.B).
+//
+// The code is the textbook extended Hamming construction: 64 data bits
+// are spread over codeword positions 1..71 skipping the powers of two,
+// 7 parity bits sit at positions 1, 2, 4, ..., 64, and an overall
+// parity bit at position 0 upgrades single-error correction to
+// double-error detection.
+package ecc
+
+import "math/bits"
+
+// Codeword is a 72-bit SECDED codeword. Bit positions 0..63 live in Lo
+// and positions 64..71 live in Hi.
+type Codeword struct {
+	Lo uint64
+	Hi uint8
+}
+
+// bit returns codeword bit at position pos (0..71).
+func (c Codeword) bit(pos uint) uint {
+	if pos < 64 {
+		return uint(c.Lo>>pos) & 1
+	}
+	return uint(c.Hi>>(pos-64)) & 1
+}
+
+// setBit sets codeword bit pos to v (0 or 1).
+func (c *Codeword) setBit(pos, v uint) {
+	if pos < 64 {
+		c.Lo = c.Lo&^(1<<pos) | uint64(v&1)<<pos
+	} else {
+		c.Hi = c.Hi&^(1<<(pos-64)) | uint8(v&1)<<(pos-64)
+	}
+}
+
+// FlipBit inverts codeword bit pos (0..71). It is the fault-injection
+// hook used by the memory simulators. Out-of-range positions panic.
+func (c *Codeword) FlipBit(pos uint) {
+	if pos >= 72 {
+		panic("ecc: FlipBit position out of range")
+	}
+	c.setBit(pos, c.bit(pos)^1)
+}
+
+// isPowerOfTwo reports whether p is a power of two (parity position).
+func isPowerOfTwo(p uint) bool { return p != 0 && p&(p-1) == 0 }
+
+// dataPositions lists the 64 codeword positions that carry data bits,
+// in increasing order: 3, 5, 6, 7, 9, ..., 71.
+var dataPositions = func() [64]uint {
+	var ps [64]uint
+	i := 0
+	for p := uint(1); p <= 71; p++ {
+		if !isPowerOfTwo(p) {
+			ps[i] = p
+			i++
+		}
+	}
+	if i != 64 {
+		panic("ecc: data position table construction failed")
+	}
+	return ps
+}()
+
+// Encode computes the SECDED codeword for 64 data bits.
+func Encode(data uint64) Codeword {
+	var c Codeword
+	for i, pos := range dataPositions {
+		c.setBit(pos, uint(data>>i)&1)
+	}
+	// Hamming parity bits: parity at position 2^k covers every
+	// position with bit k set in its index.
+	for k := uint(0); k < 7; k++ {
+		pp := uint(1) << k
+		parity := uint(0)
+		for p := uint(1); p <= 71; p++ {
+			if p&pp != 0 && !isPowerOfTwo(p) {
+				parity ^= c.bit(p)
+			}
+		}
+		c.setBit(pp, parity)
+	}
+	// Overall parity at position 0 covers positions 1..71.
+	c.setBit(0, c.parityOf1to71())
+	return c
+}
+
+func (c Codeword) parityOf1to71() uint {
+	p := uint(bits.OnesCount64(c.Lo >> 1))
+	p += uint(bits.OnesCount8(c.Hi))
+	return p & 1
+}
+
+// Result classifies the outcome of decoding a codeword.
+type Result int
+
+const (
+	// OK means the codeword was error-free.
+	OK Result = iota
+	// Corrected means a single-bit error was detected and corrected.
+	Corrected
+	// Detected means a double-bit error was detected; the returned
+	// data is unreliable and the consumer must treat the word as lost.
+	Detected
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected-uncorrectable"
+	default:
+		return "unknown"
+	}
+}
+
+// Decode extracts the data word from a codeword, correcting a
+// single-bit error if present and flagging double-bit errors.
+// The returned position is the corrected bit position (0..71) when
+// result is Corrected, and 0 otherwise.
+func Decode(c Codeword) (data uint64, result Result, position uint) {
+	syndrome := uint(0)
+	for p := uint(1); p <= 71; p++ {
+		if c.bit(p) == 1 {
+			syndrome ^= p
+		}
+	}
+	overall := c.parityOf1to71() ^ c.bit(0) // 1 when total parity is odd
+
+	switch {
+	case syndrome == 0 && overall == 0:
+		result = OK
+	case syndrome == 0 && overall == 1:
+		// The overall parity bit itself flipped.
+		c.setBit(0, c.bit(0)^1)
+		result, position = Corrected, 0
+	case syndrome != 0 && overall == 1:
+		// Single-bit error at the syndrome position.
+		if syndrome > 71 {
+			// Syndrome points outside the codeword: at least two
+			// errors produced an aliased syndrome.
+			return extract(c), Detected, 0
+		}
+		c.setBit(syndrome, c.bit(syndrome)^1)
+		result, position = Corrected, syndrome
+	default: // syndrome != 0 && overall == 0
+		return extract(c), Detected, 0
+	}
+	return extract(c), result, position
+}
+
+func extract(c Codeword) uint64 {
+	var data uint64
+	for i, pos := range dataPositions {
+		data |= uint64(c.bit(pos)) << i
+	}
+	return data
+}
+
+// Counters aggregates the correctable/uncorrectable error statistics a
+// memory controller exposes and the HealthLog daemon scrapes.
+type Counters struct {
+	Words         uint64 // codewords decoded
+	Corrected     uint64 // single-bit errors corrected
+	Uncorrectable uint64 // double-bit errors detected
+}
+
+// Observe folds one decode result into the counters.
+func (k *Counters) Observe(r Result) {
+	k.Words++
+	switch r {
+	case Corrected:
+		k.Corrected++
+	case Detected:
+		k.Uncorrectable++
+	}
+}
+
+// Add merges other into k.
+func (k *Counters) Add(other Counters) {
+	k.Words += other.Words
+	k.Corrected += other.Corrected
+	k.Uncorrectable += other.Uncorrectable
+}
+
+// CorrectableRate returns corrected errors per decoded word.
+func (k Counters) CorrectableRate() float64 {
+	if k.Words == 0 {
+		return 0
+	}
+	return float64(k.Corrected) / float64(k.Words)
+}
+
+// MaxCorrectableBER is the per-bit error rate up to which SECDED
+// protection keeps the uncorrectable-word probability negligible; the
+// paper quotes 1e-6 for classical SECDED DIMMs.
+const MaxCorrectableBER = 1e-6

@@ -1,0 +1,220 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uniserver/internal/rng"
+)
+
+func TestRoundTripNoError(t *testing.T) {
+	for _, data := range []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEBABE, 1 << 63} {
+		c := Encode(data)
+		got, res, _ := Decode(c)
+		if res != OK {
+			t.Fatalf("clean codeword for %#x decoded as %v", data, res)
+		}
+		if got != data {
+			t.Fatalf("round trip %#x -> %#x", data, got)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(data uint64) bool {
+		got, res, _ := Decode(Encode(data))
+		return res == OK && got == data
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBitCorrectionAllPositions(t *testing.T) {
+	data := uint64(0xA5A5_5A5A_0F0F_F0F0)
+	for pos := uint(0); pos < 72; pos++ {
+		c := Encode(data)
+		c.FlipBit(pos)
+		got, res, corrPos := Decode(c)
+		if res != Corrected {
+			t.Fatalf("flip at %d: result = %v, want Corrected", pos, res)
+		}
+		if got != data {
+			t.Fatalf("flip at %d: data = %#x, want %#x", pos, got, data)
+		}
+		if corrPos != pos {
+			t.Fatalf("flip at %d: reported position %d", pos, corrPos)
+		}
+	}
+}
+
+func TestSingleBitCorrectionProperty(t *testing.T) {
+	err := quick.Check(func(data uint64, rawPos uint8) bool {
+		pos := uint(rawPos) % 72
+		c := Encode(data)
+		c.FlipBit(pos)
+		got, res, _ := Decode(c)
+		return res == Corrected && got == data
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleBitDetectionAllPairsSample(t *testing.T) {
+	data := uint64(0x0123_4567_89AB_CDEF)
+	// Exhaustive over all 72*71/2 = 2556 pairs: cheap enough.
+	for a := uint(0); a < 72; a++ {
+		for b := a + 1; b < 72; b++ {
+			c := Encode(data)
+			c.FlipBit(a)
+			c.FlipBit(b)
+			_, res, _ := Decode(c)
+			if res != Detected {
+				t.Fatalf("double flip (%d,%d): result = %v, want Detected", a, b, res)
+			}
+		}
+	}
+}
+
+func TestDoubleBitDetectionProperty(t *testing.T) {
+	err := quick.Check(func(data uint64, ra, rb uint8) bool {
+		a := uint(ra) % 72
+		b := uint(rb) % 72
+		if a == b {
+			return true
+		}
+		c := Encode(data)
+		c.FlipBit(a)
+		c.FlipBit(b)
+		_, res, _ := Decode(c)
+		return res == Detected
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipTwiceIsIdentity(t *testing.T) {
+	err := quick.Check(func(data uint64, rawPos uint8) bool {
+		pos := uint(rawPos) % 72
+		c := Encode(data)
+		orig := c
+		c.FlipBit(pos)
+		c.FlipBit(pos)
+		return c == orig
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlipBit(72) did not panic")
+		}
+	}()
+	c := Encode(0)
+	c.FlipBit(72)
+}
+
+func TestCodewordsDistinct(t *testing.T) {
+	// Distinct data words must yield distinct codewords (the code is
+	// systematic and injective).
+	seen := map[Codeword]uint64{}
+	s := rng.New(99)
+	for i := 0; i < 5000; i++ {
+		d := s.Uint64()
+		c := Encode(d)
+		if prev, ok := seen[c]; ok && prev != d {
+			t.Fatalf("codeword collision between %#x and %#x", prev, d)
+		}
+		seen[c] = d
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" ||
+		Detected.String() != "detected-uncorrectable" || Result(9).String() != "unknown" {
+		t.Fatal("Result.String mismatch")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var k Counters
+	k.Observe(OK)
+	k.Observe(Corrected)
+	k.Observe(Corrected)
+	k.Observe(Detected)
+	if k.Words != 4 || k.Corrected != 2 || k.Uncorrectable != 1 {
+		t.Fatalf("counters = %+v", k)
+	}
+	if got := k.CorrectableRate(); got != 0.5 {
+		t.Fatalf("CorrectableRate = %v, want 0.5", got)
+	}
+	var k2 Counters
+	k2.Add(k)
+	k2.Add(k)
+	if k2.Words != 8 || k2.Corrected != 4 {
+		t.Fatalf("Add = %+v", k2)
+	}
+	if (Counters{}).CorrectableRate() != 0 {
+		t.Fatal("empty counters rate should be 0")
+	}
+}
+
+func TestRandomSoak(t *testing.T) {
+	s := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		data := s.Uint64()
+		c := Encode(data)
+		switch s.Intn(3) {
+		case 0:
+			got, res, _ := Decode(c)
+			if res != OK || got != data {
+				t.Fatalf("clean decode failed: %v %#x", res, got)
+			}
+		case 1:
+			c.FlipBit(uint(s.Intn(72)))
+			got, res, _ := Decode(c)
+			if res != Corrected || got != data {
+				t.Fatalf("single-error decode failed: %v %#x", res, got)
+			}
+		default:
+			a := uint(s.Intn(72))
+			b := uint(s.Intn(72))
+			for b == a {
+				b = uint(s.Intn(72))
+			}
+			c.FlipBit(a)
+			c.FlipBit(b)
+			if _, res, _ := Decode(c); res != Detected {
+				t.Fatalf("double-error decode returned %v", res)
+			}
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Encode(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	c := Encode(0xDEADBEEF)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Decode(c)
+	}
+}
+
+func BenchmarkDecodeCorrect(b *testing.B) {
+	c := Encode(0xDEADBEEF)
+	c.FlipBit(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Decode(c)
+	}
+}

@@ -1,0 +1,25 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"uniserver/internal/ecc"
+)
+
+// A single-bit upset anywhere in the 72-bit codeword is corrected; a
+// double-bit upset is detected but not miscorrected.
+func Example() {
+	cw := ecc.Encode(0xCAFEBABE)
+
+	cw.FlipBit(13) // retention upset
+	data, res, pos := ecc.Decode(cw)
+	fmt.Printf("%v at bit %d, data %#x\n", res, pos, data)
+
+	cw.FlipBit(40) // a second upset in the same word
+	_, res, _ = ecc.Decode(cw)
+	fmt.Println(res)
+
+	// Output:
+	// corrected at bit 13, data 0xcafebabe
+	// detected-uncorrectable
+}

@@ -1,0 +1,124 @@
+package edge
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestComputeBudget(t *testing.T) {
+	s := PaperExample()
+	cloudBudget, err := ComputeBudget(s, DefaultCloud())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloudBudget != 100*time.Millisecond {
+		t.Fatalf("cloud budget = %v, want 100ms (half of 200ms)", cloudBudget)
+	}
+	edgeBudget, err := ComputeBudget(s, DefaultEdge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edgeBudget != 196*time.Millisecond {
+		t.Fatalf("edge budget = %v", edgeBudget)
+	}
+	if _, err := ComputeBudget(s, Placement{Name: "mars", RTT: time.Second}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestMinFreqScale(t *testing.T) {
+	s := PaperExample()
+	cloudScale, err := MinFreqScale(s, DefaultCloud())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloudScale < 0.9 || cloudScale > 1 {
+		t.Fatalf("cloud scale = %v, should be near peak", cloudScale)
+	}
+	edgeScale, err := MinFreqScale(s, DefaultEdge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edgeScale < 0.45 || edgeScale > 0.55 {
+		t.Fatalf("edge scale = %v, paper's example runs at ~50%%", edgeScale)
+	}
+	if _, err := MinFreqScale(Service{Name: "x", TargetLatency: time.Second}, DefaultEdge()); err == nil {
+		t.Fatal("zero-work service accepted")
+	}
+	heavy := Service{Name: "heavy", TargetLatency: 200 * time.Millisecond, WorkAtPeak: 150 * time.Millisecond}
+	if _, err := MinFreqScale(heavy, DefaultCloud()); err == nil {
+		t.Fatal("infeasible cloud placement accepted")
+	}
+}
+
+func TestVoltageScaleCalibration(t *testing.T) {
+	// Paper: 50% frequency pairs with 30% less voltage.
+	if got := VoltageScaleFor(0.5); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("voltage scale at 0.5 = %v, want 0.7", got)
+	}
+	if VoltageScaleFor(1) != 1 {
+		t.Fatal("peak frequency needs full voltage")
+	}
+	if VoltageScaleFor(1.5) != 1 {
+		t.Fatal("scale must clamp at 1")
+	}
+	if VoltageScaleFor(0.01) < 0.4 {
+		t.Fatal("voltage floor violated")
+	}
+	// Monotone.
+	prev := 0.0
+	for f := 0.1; f <= 1.0; f += 0.05 {
+		v := VoltageScaleFor(f)
+		if v < prev {
+			t.Fatalf("voltage scale not monotone at %v", f)
+		}
+		prev = v
+	}
+}
+
+// TestSection6DComparison reproduces the paper's worked example:
+// running at the Edge at ~50% frequency and ~70% voltage yields ~75%
+// less power and ~50% less energy than the cloud placement.
+func TestSection6DComparison(t *testing.T) {
+	c, err := Compare(PaperExample(), DefaultCloud(), DefaultEdge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.CloudFeasible || !c.EdgeFeasible {
+		t.Fatalf("both placements should be feasible: %+v", c)
+	}
+	if c.EdgePowerScale > 0.30 || c.EdgePowerScale < 0.18 {
+		t.Errorf("edge power scale = %.3f, paper says ~0.25 (75%% less)", c.EdgePowerScale)
+	}
+	if c.EdgeEnergyScale > 0.58 || c.EdgeEnergyScale < 0.42 {
+		t.Errorf("edge energy scale = %.3f, paper says ~0.5 (50%% less)", c.EdgeEnergyScale)
+	}
+	if c.EdgeFreqScale >= c.CloudFreqScale {
+		t.Error("edge should run slower than cloud")
+	}
+}
+
+func TestCompareCloudInfeasible(t *testing.T) {
+	heavy := Service{Name: "heavy", TargetLatency: 200 * time.Millisecond, WorkAtPeak: 150 * time.Millisecond}
+	c, err := Compare(heavy, DefaultCloud(), DefaultEdge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CloudFeasible {
+		t.Fatal("cloud should be infeasible for 150ms work with 100ms budget")
+	}
+	if !c.EdgeFeasible {
+		t.Fatal("edge should host the heavy service")
+	}
+	if c.CloudFreqScale != 1 {
+		t.Fatal("infeasible cloud should compare against peak")
+	}
+}
+
+func TestCompareEdgeInfeasible(t *testing.T) {
+	impossible := Service{Name: "impossible", TargetLatency: 50 * time.Millisecond, WorkAtPeak: 80 * time.Millisecond}
+	if _, err := Compare(impossible, DefaultCloud(), DefaultEdge()); err == nil {
+		t.Fatal("edge-infeasible service accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package healthlog
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"uniserver/internal/telemetry"
+)
+
+func BenchmarkRecord(b *testing.B) {
+	clock := telemetry.NewClock(time.Unix(0, 0))
+	d := New(DefaultConfig(), clock, nil)
+	v := vec("core0", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(time.Second)
+		d.Record(v)
+	}
+}
+
+func BenchmarkRecordWithLogfile(b *testing.B) {
+	clock := telemetry.NewClock(time.Unix(0, 0))
+	var buf bytes.Buffer
+	d := New(DefaultConfig(), clock, &buf)
+	v := vec("core0", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(time.Second)
+		d.Record(v)
+	}
+}
+
+func BenchmarkReadLog(b *testing.B) {
+	clock := telemetry.NewClock(time.Unix(0, 0))
+	var buf bytes.Buffer
+	d := New(DefaultConfig(), clock, &buf)
+	for i := 0; i < 1000; i++ {
+		clock.Advance(time.Second)
+		d.Record(vec("core0", i%3))
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadLog(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

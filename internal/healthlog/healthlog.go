@@ -1,0 +1,226 @@
+// Package healthlog implements the HealthLog monitor of Section 3.C:
+// the runtime daemon that records every hardware event — errors
+// (correctable or uncorrectable), system configuration values, sensor
+// readings and performance counters — as information vectors in a
+// system logfile, and exposes them to the higher layers.
+//
+// Per the paper, the daemon provides two service types:
+//
+//   - Event-driven services: subscribers (the Predictor, the
+//     Hypervisor) are notified synchronously whenever a vector is
+//     recorded, and a configurable correctable-error-rate threshold
+//     raises a stress-test trigger ("if the number of errors rises
+//     above a certain threshold a new stress-test cycle may be
+//     triggered").
+//   - On-demand services: the monitor answers queries from higher
+//     layers for specific information (per component, per time range).
+package healthlog
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"uniserver/internal/telemetry"
+)
+
+// Listener receives every recorded vector (event-driven service).
+type Listener func(telemetry.InfoVector)
+
+// TriggerReason explains why a stress-test trigger fired.
+type TriggerReason struct {
+	Component  string
+	WindowErrs int
+	Threshold  int
+	At         time.Time
+}
+
+// String implements fmt.Stringer.
+func (r TriggerReason) String() string {
+	return fmt.Sprintf("component %s: %d correctable errors in window (threshold %d) at %s",
+		r.Component, r.WindowErrs, r.Threshold, r.At.Format(time.RFC3339))
+}
+
+// Config tunes the daemon.
+type Config struct {
+	// ErrorThreshold is the number of correctable errors per component
+	// per window above which a stress-test cycle is requested.
+	ErrorThreshold int
+	// Window is the sliding-window length for the threshold.
+	Window time.Duration
+	// RetainVectors bounds the in-memory history per component
+	// (on-demand queries read from this buffer; the full stream also
+	// goes to the log writer).
+	RetainVectors int
+}
+
+// DefaultConfig returns sensible daemon defaults.
+func DefaultConfig() Config {
+	return Config{
+		ErrorThreshold: 10,
+		Window:         time.Hour,
+		RetainVectors:  4096,
+	}
+}
+
+// Daemon is the HealthLog monitor. It is safe for concurrent use.
+type Daemon struct {
+	cfg   Config
+	clock *telemetry.Clock
+	out   io.Writer // JSON-lines system logfile; may be nil
+
+	mu        sync.Mutex
+	byComp    map[string][]telemetry.InfoVector
+	listeners []Listener
+	onTrigger []func(TriggerReason)
+	recorded  uint64
+	crashes   uint64
+	writeErr  error
+}
+
+// New returns a daemon writing JSON lines to out (nil discards) and
+// timestamping with the given clock.
+func New(cfg Config, clock *telemetry.Clock, out io.Writer) *Daemon {
+	if cfg.ErrorThreshold <= 0 {
+		cfg.ErrorThreshold = DefaultConfig().ErrorThreshold
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultConfig().Window
+	}
+	if cfg.RetainVectors <= 0 {
+		cfg.RetainVectors = DefaultConfig().RetainVectors
+	}
+	return &Daemon{
+		cfg:    cfg,
+		clock:  clock,
+		out:    out,
+		byComp: make(map[string][]telemetry.InfoVector),
+	}
+}
+
+// Subscribe registers an event-driven listener. Listeners run
+// synchronously on the recording goroutine, in registration order.
+func (d *Daemon) Subscribe(l Listener) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.listeners = append(d.listeners, l)
+}
+
+// OnStressTrigger registers a callback invoked when a component's
+// correctable-error rate crosses the configured threshold. The
+// StressLog daemon subscribes here.
+func (d *Daemon) OnStressTrigger(f func(TriggerReason)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onTrigger = append(d.onTrigger, f)
+}
+
+// Record ingests one information vector: stamps it with the daemon
+// clock if unstamped, persists it to the logfile, retains it for
+// queries, notifies listeners, and evaluates the error threshold.
+func (d *Daemon) Record(v telemetry.InfoVector) {
+	if v.Time.IsZero() {
+		v.Time = d.clock.Now()
+	}
+
+	d.mu.Lock()
+	d.recorded++
+	if v.HasCrash() {
+		d.crashes++
+	}
+	hist := append(d.byComp[v.Component], v)
+	if len(hist) > d.cfg.RetainVectors {
+		hist = hist[len(hist)-d.cfg.RetainVectors:]
+	}
+	d.byComp[v.Component] = hist
+
+	if d.out != nil && d.writeErr == nil {
+		if line, err := v.MarshalLine(); err == nil {
+			if _, err := d.out.Write(line); err != nil {
+				d.writeErr = fmt.Errorf("healthlog: logfile write: %w", err)
+			}
+		}
+	}
+
+	listeners := append([]Listener(nil), d.listeners...)
+	var reason *TriggerReason
+	if n := d.windowErrorsLocked(v.Component, v.Time); n > d.cfg.ErrorThreshold {
+		reason = &TriggerReason{
+			Component:  v.Component,
+			WindowErrs: n,
+			Threshold:  d.cfg.ErrorThreshold,
+			At:         v.Time,
+		}
+	}
+	var triggers []func(TriggerReason)
+	triggers = append(triggers, d.onTrigger...)
+	d.mu.Unlock()
+
+	for _, l := range listeners {
+		l(v)
+	}
+	if reason != nil {
+		for _, f := range triggers {
+			f(*reason)
+		}
+	}
+}
+
+// windowErrorsLocked counts the component's correctable errors inside
+// the sliding window ending at now. Caller holds d.mu.
+func (d *Daemon) windowErrorsLocked(component string, now time.Time) int {
+	cutoff := now.Add(-d.cfg.Window)
+	n := 0
+	for _, v := range d.byComp[component] {
+		if v.Time.After(cutoff) && !v.Time.After(now) {
+			n += v.CorrectableCount()
+		}
+	}
+	return n
+}
+
+// Query returns the retained vectors for a component recorded at or
+// after `since`, in record order (on-demand service).
+func (d *Daemon) Query(component string, since time.Time) []telemetry.InfoVector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []telemetry.InfoVector
+	for _, v := range d.byComp[component] {
+		if !v.Time.Before(since) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Components returns the component names seen so far.
+func (d *Daemon) Components() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.byComp))
+	for name := range d.byComp {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Stats summarizes the daemon's activity.
+type Stats struct {
+	Recorded uint64
+	Crashes  uint64
+}
+
+// Stats returns activity counters.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{Recorded: d.recorded, Crashes: d.crashes}
+}
+
+// Err returns the first logfile write error, if any.
+func (d *Daemon) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeErr
+}

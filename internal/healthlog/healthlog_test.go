@@ -1,0 +1,227 @@
+package healthlog
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"uniserver/internal/telemetry"
+	"uniserver/internal/vfr"
+)
+
+func newTestDaemon(out *bytes.Buffer) (*Daemon, *telemetry.Clock) {
+	clock := telemetry.NewClock(time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC))
+	var w *bytes.Buffer
+	if out != nil {
+		w = out
+	}
+	cfg := Config{ErrorThreshold: 5, Window: time.Hour, RetainVectors: 100}
+	if w == nil {
+		return New(cfg, clock, nil), clock
+	}
+	return New(cfg, clock, w), clock
+}
+
+func vec(component string, correctable int) telemetry.InfoVector {
+	v := telemetry.InfoVector{
+		Component: component,
+		Point:     vfr.Point{VoltageMV: 800, FreqMHz: 2600},
+	}
+	if correctable > 0 {
+		v.Errors = []telemetry.ErrorEvent{{Kind: telemetry.ErrCorrectable, Component: component, Count: correctable}}
+	}
+	return v
+}
+
+func TestRecordStampsAndPersists(t *testing.T) {
+	var buf bytes.Buffer
+	d, clock := newTestDaemon(&buf)
+	clock.Advance(time.Minute)
+	d.Record(vec("core0", 1))
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("log has %d lines", len(lines))
+	}
+	got, err := telemetry.UnmarshalLine([]byte(lines[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(clock.Now()) {
+		t.Fatalf("vector not stamped with clock time: %v vs %v", got.Time, clock.Now())
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitTimestampPreserved(t *testing.T) {
+	d, _ := newTestDaemon(nil)
+	want := time.Date(2017, 7, 1, 3, 0, 0, 0, time.UTC)
+	v := vec("core0", 0)
+	v.Time = want
+	d.Record(v)
+	got := d.Query("core0", time.Time{})
+	if len(got) != 1 || !got[0].Time.Equal(want) {
+		t.Fatalf("timestamp overwritten: %v", got)
+	}
+}
+
+func TestEventDrivenListeners(t *testing.T) {
+	d, _ := newTestDaemon(nil)
+	var seen []string
+	d.Subscribe(func(v telemetry.InfoVector) { seen = append(seen, "a:"+v.Component) })
+	d.Subscribe(func(v telemetry.InfoVector) { seen = append(seen, "b:"+v.Component) })
+	d.Record(vec("core1", 0))
+	if len(seen) != 2 || seen[0] != "a:core1" || seen[1] != "b:core1" {
+		t.Fatalf("listener order/content wrong: %v", seen)
+	}
+}
+
+func TestOnDemandQuery(t *testing.T) {
+	d, clock := newTestDaemon(nil)
+	d.Record(vec("core0", 1))
+	clock.Advance(10 * time.Minute)
+	mark := clock.Now()
+	d.Record(vec("core0", 2))
+	d.Record(vec("core1", 3))
+
+	all := d.Query("core0", time.Time{})
+	if len(all) != 2 {
+		t.Fatalf("core0 history = %d", len(all))
+	}
+	recent := d.Query("core0", mark)
+	if len(recent) != 1 || recent[0].CorrectableCount() != 2 {
+		t.Fatalf("since-query wrong: %+v", recent)
+	}
+	if got := d.Query("ghost", time.Time{}); got != nil {
+		t.Fatalf("unknown component query = %v", got)
+	}
+	comps := d.Components()
+	if len(comps) != 2 {
+		t.Fatalf("Components = %v", comps)
+	}
+}
+
+func TestThresholdTrigger(t *testing.T) {
+	d, clock := newTestDaemon(nil)
+	var triggers []TriggerReason
+	d.OnStressTrigger(func(r TriggerReason) { triggers = append(triggers, r) })
+
+	// 5 errors = threshold, not above: no trigger.
+	d.Record(vec("core0", 5))
+	if len(triggers) != 0 {
+		t.Fatalf("trigger fired at threshold: %v", triggers)
+	}
+	clock.Advance(time.Minute)
+	d.Record(vec("core0", 1))
+	if len(triggers) != 1 {
+		t.Fatalf("trigger count = %d, want 1", len(triggers))
+	}
+	r := triggers[0]
+	if r.Component != "core0" || r.WindowErrs != 6 || r.Threshold != 5 {
+		t.Fatalf("trigger = %+v", r)
+	}
+	if !strings.Contains(r.String(), "core0") {
+		t.Fatal("trigger string missing component")
+	}
+}
+
+func TestThresholdWindowExpires(t *testing.T) {
+	d, clock := newTestDaemon(nil)
+	fired := 0
+	d.OnStressTrigger(func(TriggerReason) { fired++ })
+	d.Record(vec("core0", 5))
+	// Push the old errors out of the 1h window.
+	clock.Advance(2 * time.Hour)
+	d.Record(vec("core0", 1))
+	if fired != 0 {
+		t.Fatalf("stale errors triggered stress test")
+	}
+}
+
+func TestThresholdPerComponent(t *testing.T) {
+	d, clock := newTestDaemon(nil)
+	fired := 0
+	d.OnStressTrigger(func(TriggerReason) { fired++ })
+	d.Record(vec("core0", 4))
+	clock.Advance(time.Minute)
+	d.Record(vec("core1", 4))
+	if fired != 0 {
+		t.Fatal("errors on different components must not sum")
+	}
+}
+
+func TestRetentionBound(t *testing.T) {
+	clock := telemetry.NewClock(time.Unix(0, 0))
+	d := New(Config{ErrorThreshold: 1000, Window: time.Hour, RetainVectors: 10}, clock, nil)
+	for i := 0; i < 50; i++ {
+		clock.Advance(time.Second)
+		d.Record(vec("core0", 0))
+	}
+	if got := len(d.Query("core0", time.Time{})); got != 10 {
+		t.Fatalf("retained %d vectors, want 10", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, _ := newTestDaemon(nil)
+	d.Record(vec("core0", 1))
+	crash := vec("core0", 0)
+	crash.Errors = []telemetry.ErrorEvent{{Kind: telemetry.ErrCrash, Component: "core0", Count: 1}}
+	d.Record(crash)
+	s := d.Stats()
+	if s.Recorded != 2 || s.Crashes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriteErrorSurfaced(t *testing.T) {
+	clock := telemetry.NewClock(time.Unix(0, 0))
+	d := New(DefaultConfig(), clock, failingWriter{})
+	d.Record(vec("core0", 0))
+	if d.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	// Daemon keeps functioning for queries after a write error.
+	d.Record(vec("core0", 0))
+	if len(d.Query("core0", time.Time{})) != 2 {
+		t.Fatal("daemon stopped retaining after write error")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	clock := telemetry.NewClock(time.Unix(0, 0))
+	d := New(Config{}, clock, nil)
+	if d.cfg.ErrorThreshold != DefaultConfig().ErrorThreshold ||
+		d.cfg.Window != DefaultConfig().Window ||
+		d.cfg.RetainVectors != DefaultConfig().RetainVectors {
+		t.Fatalf("defaults not applied: %+v", d.cfg)
+	}
+}
+
+func TestLogfileIsValidJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	d, clock := newTestDaemon(&buf)
+	for i := 0; i < 20; i++ {
+		clock.Advance(time.Second)
+		d.Record(vec("core0", i%3))
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		if _, err := telemetry.UnmarshalLine(sc.Bytes()); err != nil {
+			t.Fatalf("line %d invalid: %v", n, err)
+		}
+		n++
+	}
+	if n != 20 {
+		t.Fatalf("log has %d lines, want 20", n)
+	}
+}

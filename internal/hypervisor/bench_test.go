@@ -1,0 +1,75 @@
+package hypervisor
+
+import (
+	"fmt"
+	"testing"
+
+	"uniserver/internal/dram"
+	"uniserver/internal/rng"
+	"uniserver/internal/telemetry"
+)
+
+func benchHypervisor(b *testing.B) *Hypervisor {
+	b.Helper()
+	om := NewObjectMap(DefaultProfiles(), rng.New(1))
+	cfg := dram.Config{Channels: 2, DIMMsPerChannel: 1, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45}
+	mem, err := dram.New(cfg, dram.DefaultRetentionModel(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := New(DefaultConfig(), om, mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func BenchmarkStartStopVM(b *testing.B) {
+	h := benchHypervisor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("vm-%d", i)
+		if err := h.StartVM(vmSpec(name, 2)); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.StopVM(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHandleCorrectable(b *testing.B) {
+	h := benchHypervisor(b)
+	ev := telemetry.ErrorEvent{Kind: telemetry.ErrCorrectable, Component: "core0/L2", Count: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.HandleError(ev, "", -1, func(string) int { return -1 })
+	}
+}
+
+func BenchmarkObjectMapConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NewObjectMap(DefaultProfiles(), rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkLiveMigration(b *testing.B) {
+	// Ping-pong one guest between two hosts so per-iteration work is
+	// just the migration itself.
+	a := benchHypervisor(b)
+	c := benchHypervisor(b)
+	if err := a.StartVM(vmSpec("vm", 2)); err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultMigrationConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, dst := a, c
+		if i%2 == 1 {
+			src, dst = c, a
+		}
+		if _, err := MigrateVM(src, dst, "vm", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

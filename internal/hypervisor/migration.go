@@ -1,0 +1,117 @@
+package hypervisor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// MigrationResult reports one live migration.
+type MigrationResult struct {
+	VM string
+	// Rounds is the number of pre-copy iterations.
+	Rounds int
+	// CopiedBytes is the total traffic (guest memory + re-sent dirty
+	// pages).
+	CopiedBytes uint64
+	// Downtime is the stop-and-copy blackout the guest observed.
+	Downtime time.Duration
+	// TotalTime is the wall time of the whole migration.
+	TotalTime time.Duration
+}
+
+// MigrationConfig tunes the pre-copy algorithm.
+type MigrationConfig struct {
+	// LinkBytesPerSec is the migration-network bandwidth.
+	LinkBytesPerSec float64
+	// DirtyBytesPerSec is the guest's page-dirtying rate while running.
+	DirtyBytesPerSec float64
+	// StopCopyThresholdBytes switches to stop-and-copy when the
+	// remaining dirty set falls below it.
+	StopCopyThresholdBytes uint64
+	// MaxRounds bounds pre-copy; reaching it forces stop-and-copy.
+	MaxRounds int
+}
+
+// DefaultMigrationConfig returns a 10 GbE-class migration link with a
+// moderately write-heavy guest.
+func DefaultMigrationConfig() MigrationConfig {
+	return MigrationConfig{
+		LinkBytesPerSec:        1.1e9,
+		DirtyBytesPerSec:       2.5e8,
+		StopCopyThresholdBytes: 64 << 20,
+		MaxRounds:              12,
+	}
+}
+
+func (c MigrationConfig) validate() error {
+	if c.LinkBytesPerSec <= 0 {
+		return errors.New("hypervisor: migration link bandwidth must be positive")
+	}
+	if c.DirtyBytesPerSec < 0 {
+		return errors.New("hypervisor: negative dirty rate")
+	}
+	if c.DirtyBytesPerSec >= c.LinkBytesPerSec {
+		return errors.New("hypervisor: dirty rate at or above link rate never converges")
+	}
+	if c.MaxRounds <= 0 {
+		return errors.New("hypervisor: MaxRounds must be positive")
+	}
+	return nil
+}
+
+// MigrateVM live-migrates a running guest from src to dst using the
+// classic pre-copy algorithm: iteratively copy memory while the guest
+// runs (each round re-sends what was dirtied during the previous
+// copy), then stop-and-copy the final residue. This is the mechanism
+// behind the OpenStack layer's "proactively migrate the running
+// workloads on the healthy nodes".
+func MigrateVM(src, dst *Hypervisor, name string, cfg MigrationConfig) (MigrationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return MigrationResult{}, err
+	}
+	if src == dst {
+		return MigrationResult{}, errors.New("hypervisor: migration to self")
+	}
+	vm, ok := src.VM(name)
+	if !ok {
+		return MigrationResult{}, fmt.Errorf("hypervisor: unknown VM %q", name)
+	}
+	if vm.State != VMRunning {
+		return MigrationResult{}, fmt.Errorf("hypervisor: VM %q is not running", name)
+	}
+
+	// Admission on the destination first: a failed migration must
+	// leave the source untouched.
+	if err := dst.StartVM(vm.Spec); err != nil {
+		return MigrationResult{}, fmt.Errorf("hypervisor: destination rejected %q: %w", name, err)
+	}
+
+	res := MigrationResult{VM: name}
+	remaining := float64(vm.Spec.MemBytes)
+	for {
+		res.Rounds++
+		copyTime := remaining / cfg.LinkBytesPerSec
+		res.CopiedBytes += uint64(remaining)
+		res.TotalTime += time.Duration(copyTime * float64(time.Second))
+		dirtied := cfg.DirtyBytesPerSec * copyTime
+		remaining = dirtied
+		if remaining <= float64(cfg.StopCopyThresholdBytes) || res.Rounds >= cfg.MaxRounds {
+			break
+		}
+	}
+	// Stop-and-copy: the guest is paused while the residue transfers.
+	res.Downtime = time.Duration(remaining / cfg.LinkBytesPerSec * float64(time.Second))
+	res.CopiedBytes += uint64(remaining)
+	res.TotalTime += res.Downtime
+
+	// Commit: move the runtime state and release the source.
+	if dvm, ok := dst.VM(name); ok {
+		dvm.Windows = vm.Windows
+		dvm.Restarts = vm.Restarts
+	}
+	if err := src.StopVM(name); err != nil {
+		return MigrationResult{}, fmt.Errorf("hypervisor: releasing source copy: %w", err)
+	}
+	return res, nil
+}

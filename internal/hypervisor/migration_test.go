@@ -1,0 +1,153 @@
+package hypervisor
+
+import (
+	"testing"
+	"time"
+
+	"uniserver/internal/rng"
+)
+
+func migrationPair(t *testing.T) (*Hypervisor, *Hypervisor) {
+	t.Helper()
+	src := testHypervisor(t, 61)
+	om2 := NewObjectMap(DefaultProfiles(), rng.New(62))
+	dst, err := New(DefaultConfig(), om2, testMem(t, 62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, dst
+}
+
+func TestMigrateVMMovesGuest(t *testing.T) {
+	src, dst := migrationPair(t)
+	spec := vmSpec("traveller", 2)
+	if err := src.StartVM(spec); err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := src.VM("traveller")
+	vm.Windows = 17
+	vm.Restarts = 2
+
+	res, err := MigrateVM(src, dst, "traveller", DefaultMigrationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, still := src.VM("traveller"); still {
+		t.Fatal("guest still on source")
+	}
+	moved, ok := dst.VM("traveller")
+	if !ok {
+		t.Fatal("guest missing on destination")
+	}
+	if moved.Windows != 17 || moved.Restarts != 2 {
+		t.Fatalf("runtime state lost: %+v", moved)
+	}
+	if len(src.Allocator().AllocationsOf("traveller")) != 0 {
+		t.Fatal("source memory not released")
+	}
+	if len(dst.Allocator().AllocationsOf("traveller")) == 0 {
+		t.Fatal("destination memory not allocated")
+	}
+	if res.CopiedBytes < spec.MemBytes {
+		t.Fatalf("copied %d < guest memory %d", res.CopiedBytes, spec.MemBytes)
+	}
+	if res.Rounds < 1 || res.Downtime <= 0 || res.TotalTime < res.Downtime {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestMigrateDowntimeFarBelowTotal(t *testing.T) {
+	src, dst := migrationPair(t)
+	if err := src.StartVM(vmSpec("big", 2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := MigrateVM(src, dst, "big", DefaultMigrationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point of pre-copy: the blackout is a small fraction of
+	// the transfer time.
+	if res.Downtime*5 > res.TotalTime {
+		t.Fatalf("downtime %v not small versus total %v", res.Downtime, res.TotalTime)
+	}
+	if res.Downtime > 200*time.Millisecond {
+		t.Fatalf("downtime %v too long for a 10GbE link", res.Downtime)
+	}
+}
+
+func TestMigrateWriteHeavyGuestNeedsMoreRounds(t *testing.T) {
+	srcA, dstA := migrationPair(t)
+	if err := srcA.StartVM(vmSpec("calm", 1)); err != nil {
+		t.Fatal(err)
+	}
+	calmCfg := DefaultMigrationConfig()
+	calmCfg.DirtyBytesPerSec = 1e7
+	calm, err := MigrateVM(srcA, dstA, "calm", calmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcB, dstB := migrationPair(t)
+	if err := srcB.StartVM(vmSpec("dirty", 1)); err != nil {
+		t.Fatal(err)
+	}
+	dirtyCfg := DefaultMigrationConfig()
+	dirtyCfg.DirtyBytesPerSec = 9e8
+	dirtyCfg.StopCopyThresholdBytes = 1 << 20
+	dirty, err := MigrateVM(srcB, dstB, "dirty", dirtyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Rounds <= calm.Rounds {
+		t.Fatalf("write-heavy guest used %d rounds, calm used %d", dirty.Rounds, calm.Rounds)
+	}
+	if dirty.CopiedBytes <= calm.CopiedBytes {
+		t.Fatal("write-heavy guest should re-send more")
+	}
+}
+
+func TestMigrateValidation(t *testing.T) {
+	src, dst := migrationPair(t)
+	if err := src.StartVM(vmSpec("vm", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MigrateVM(src, src, "vm", DefaultMigrationConfig()); err == nil {
+		t.Fatal("self-migration accepted")
+	}
+	if _, err := MigrateVM(src, dst, "ghost", DefaultMigrationConfig()); err == nil {
+		t.Fatal("unknown VM accepted")
+	}
+	bad := DefaultMigrationConfig()
+	bad.DirtyBytesPerSec = bad.LinkBytesPerSec
+	if _, err := MigrateVM(src, dst, "vm", bad); err == nil {
+		t.Fatal("non-converging config accepted")
+	}
+	bad = DefaultMigrationConfig()
+	bad.LinkBytesPerSec = 0
+	if _, err := MigrateVM(src, dst, "vm", bad); err == nil {
+		t.Fatal("zero link accepted")
+	}
+	bad = DefaultMigrationConfig()
+	bad.MaxRounds = 0
+	if _, err := MigrateVM(src, dst, "vm", bad); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestMigrateDestinationRejectionLeavesSourceIntact(t *testing.T) {
+	src, dst := migrationPair(t)
+	if err := src.StartVM(vmSpec("vm", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate destination vCPUs so admission fails.
+	for i := 0; i < 8; i++ {
+		if err := dst.StartVM(vmSpec(string(rune('a'+i)), 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := MigrateVM(src, dst, "vm", DefaultMigrationConfig()); err == nil {
+		t.Fatal("migration to full destination accepted")
+	}
+	if _, ok := src.VM("vm"); !ok {
+		t.Fatal("failed migration lost the source VM")
+	}
+}

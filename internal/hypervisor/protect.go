@@ -1,0 +1,88 @@
+package hypervisor
+
+import (
+	"errors"
+	"time"
+)
+
+// CheckpointPolicy prices the runtime cost of the selective-protection
+// mechanism: protected objects are checked and checkpointed
+// periodically, stealing memory bandwidth and CPU cycles from the
+// guests. Section 6.C's constraint is explicit — "the overhead of
+// resiliency should not outweigh the energy efficiency benefits
+// achieved at EOP" — so the cost must be a first-class quantity.
+type CheckpointPolicy struct {
+	// Interval between checkpoint passes.
+	Interval time.Duration
+	// CopyBandwidthBps is the effective checkpoint copy rate.
+	CopyBandwidthBps float64
+	// CheckCostNsPerObject is the integrity-check cost per protected
+	// object per pass.
+	CheckCostNsPerObject float64
+}
+
+// DefaultCheckpointPolicy returns a 1-second pass with DDR3-class copy
+// bandwidth.
+func DefaultCheckpointPolicy() CheckpointPolicy {
+	return CheckpointPolicy{
+		Interval:             time.Second,
+		CopyBandwidthBps:     6e9, // one DDR3 channel's worth
+		CheckCostNsPerObject: 40,
+	}
+}
+
+func (p CheckpointPolicy) validate() error {
+	if p.Interval <= 0 {
+		return errors.New("hypervisor: checkpoint interval must be positive")
+	}
+	if p.CopyBandwidthBps <= 0 {
+		return errors.New("hypervisor: checkpoint bandwidth must be positive")
+	}
+	if p.CheckCostNsPerObject < 0 {
+		return errors.New("hypervisor: negative check cost")
+	}
+	return nil
+}
+
+// ProtectionCost is the steady-state overhead of a protection set.
+type ProtectionCost struct {
+	// ProtectedObjects and ProtectedBytes size the checkpoint set.
+	ProtectedObjects int
+	ProtectedBytes   uint64
+	// PassTime is the duration of one checkpoint pass.
+	PassTime time.Duration
+	// OverheadPct is the fraction of machine time spent checkpointing,
+	// in percent (PassTime / Interval).
+	OverheadPct float64
+	// MemoryOverheadBytes is the checkpoint storage (a second copy of
+	// every protected object).
+	MemoryOverheadBytes uint64
+}
+
+// CostOfProtection computes the steady-state overhead of the current
+// protection set under the policy.
+func (om *ObjectMap) CostOfProtection(policy CheckpointPolicy) (ProtectionCost, error) {
+	if err := policy.validate(); err != nil {
+		return ProtectionCost{}, err
+	}
+	var cost ProtectionCost
+	for _, o := range om.Objects {
+		if o.Protected {
+			cost.ProtectedObjects++
+			cost.ProtectedBytes += uint64(o.Bytes)
+		}
+	}
+	copySec := float64(cost.ProtectedBytes) / policy.CopyBandwidthBps
+	checkSec := float64(cost.ProtectedObjects) * policy.CheckCostNsPerObject * 1e-9
+	cost.PassTime = time.Duration((copySec + checkSec) * float64(time.Second))
+	cost.OverheadPct = 100 * float64(cost.PassTime) / float64(policy.Interval)
+	cost.MemoryOverheadBytes = cost.ProtectedBytes
+	return cost, nil
+}
+
+// WorthIt reports whether the protection overhead stays below the
+// energy saving EOP operation buys (both in percent): the Section 6.C
+// viability criterion.
+func (c ProtectionCost) WorthIt(energySavingsPct float64) bool {
+	return c.OverheadPct < energySavingsPct
+}

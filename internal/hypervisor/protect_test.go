@@ -1,0 +1,93 @@
+package hypervisor
+
+import (
+	"testing"
+	"time"
+
+	"uniserver/internal/rng"
+)
+
+func TestCheckpointPolicyValidation(t *testing.T) {
+	om := NewObjectMap(DefaultProfiles(), rng.New(1))
+	bad := []CheckpointPolicy{
+		{Interval: 0, CopyBandwidthBps: 1e9},
+		{Interval: time.Second, CopyBandwidthBps: 0},
+		{Interval: time.Second, CopyBandwidthBps: 1e9, CheckCostNsPerObject: -1},
+	}
+	for i, p := range bad {
+		if _, err := om.CostOfProtection(p); err == nil {
+			t.Errorf("policy %d accepted", i)
+		}
+	}
+}
+
+func TestCostOfNothingProtected(t *testing.T) {
+	om := NewObjectMap(DefaultProfiles(), rng.New(2))
+	cost, err := om.CostOfProtection(DefaultCheckpointPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.ProtectedObjects != 0 || cost.OverheadPct != 0 {
+		t.Fatalf("empty protection has cost: %+v", cost)
+	}
+}
+
+// TestSelectiveProtectionIsWorthIt is the Section 6.C criterion in
+// numbers: the checkpoint overhead of the selectively protected set
+// must sit far below the ~17% CPU power the EOP recovers, while
+// protecting everything costs measurably more.
+func TestSelectiveProtectionIsWorthIt(t *testing.T) {
+	om := NewObjectMap(DefaultProfiles(), rng.New(3))
+	om.Protect(CatFS, CatKernel, CatNet) // the sensitive cluster
+	selective, err := om.CostOfProtection(DefaultCheckpointPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selective.ProtectedObjects == 0 {
+		t.Fatal("nothing protected")
+	}
+	const eopSavingsPct = 17 // measured by the core package's tests
+	if !selective.WorthIt(eopSavingsPct) {
+		t.Fatalf("selective protection overhead %.3f%% devours the %.0f%% EOP savings",
+			selective.OverheadPct, float64(eopSavingsPct))
+	}
+	if selective.OverheadPct <= 0 {
+		t.Fatal("protection should have nonzero cost")
+	}
+
+	full := NewObjectMap(DefaultProfiles(), rng.New(3))
+	full.Protect(Categories()...)
+	fullCost, err := full.CostOfProtection(DefaultCheckpointPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullCost.OverheadPct <= selective.OverheadPct {
+		t.Fatal("full protection should cost more than selective")
+	}
+	if fullCost.MemoryOverheadBytes <= selective.MemoryOverheadBytes {
+		t.Fatal("full protection should store more")
+	}
+}
+
+func TestCostScalesWithInterval(t *testing.T) {
+	om := NewObjectMap(DefaultProfiles(), rng.New(4))
+	om.Protect(CatKernel)
+	fast := DefaultCheckpointPolicy()
+	fast.Interval = 100 * time.Millisecond
+	slow := DefaultCheckpointPolicy()
+	slow.Interval = 10 * time.Second
+	fc, err := om.CostOfProtection(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := om.CostOfProtection(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.OverheadPct <= sc.OverheadPct {
+		t.Fatal("tighter checkpoint interval must cost more")
+	}
+	if fc.PassTime != sc.PassTime {
+		t.Fatal("pass time should not depend on interval")
+	}
+}

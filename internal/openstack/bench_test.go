@@ -1,0 +1,59 @@
+package openstack
+
+import (
+	"fmt"
+	"testing"
+
+	"uniserver/internal/rng"
+	"uniserver/internal/workload"
+)
+
+func BenchmarkSchedule(b *testing.B) {
+	nodes := Fleet(32, 64, 512<<30, rng.New(1))
+	m, err := NewManager(UniServerPolicy(), nodes...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("vm-%d", i)
+		if _, err := m.Schedule(spec(name, 1, 1<<30), SLASilver); err != nil {
+			b.Fatal(err)
+		}
+		m.Terminate(name)
+	}
+}
+
+func BenchmarkRunStream24h(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nodes := Fleet(8, 16, 64<<30, rng.New(uint64(i)))
+		m, err := NewManager(UniServerPolicy(), nodes...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arrivals, err := workload.Stream(workload.DefaultStreamConfig(), rng.New(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunStream(m, arrivals, DefaultSimConfig(), rng.New(uint64(i)+2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProactiveMigration(b *testing.B) {
+	nodes := Fleet(16, 32, 256<<30, rng.New(2))
+	m, err := NewManager(UniServerPolicy(), nodes...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := m.Schedule(spec(fmt.Sprintf("vm-%d", i), 1, 1<<30), SLABronze); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ProactiveMigration()
+	}
+}

@@ -1,0 +1,72 @@
+package openstack
+
+import (
+	"testing"
+
+	"uniserver/internal/rng"
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+// runFleet simulates a day-long stream over a fleet pinned to the
+// given operating mode.
+func runFleet(t *testing.T, mode vfr.Mode, policy Policy, seed uint64) SimResult {
+	t.Helper()
+	nodes := Fleet(8, 16, 64<<30, rng.New(seed))
+	for _, n := range nodes {
+		n.Mode = mode
+	}
+	m, err := NewManager(policy, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := workload.Stream(workload.DefaultStreamConfig(), rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStream(m, arrivals, DefaultSimConfig(), rng.New(seed+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEOPFleetSavesEnergy verifies the fleet-level energy ordering:
+// low-power EOP < high-performance EOP < nominal, for the same stream.
+func TestEOPFleetSavesEnergy(t *testing.T) {
+	nominal := runFleet(t, vfr.ModeNominal, UniServerPolicy(), 300)
+	hp := runFleet(t, vfr.ModeHighPerformance, UniServerPolicy(), 300)
+	lp := runFleet(t, vfr.ModeLowPower, UniServerPolicy(), 300)
+	if !(lp.EnergyKWh < hp.EnergyKWh && hp.EnergyKWh < nominal.EnergyKWh) {
+		t.Fatalf("energy ordering wrong: lp=%.1f hp=%.1f nominal=%.1f",
+			lp.EnergyKWh, hp.EnergyKWh, nominal.EnergyKWh)
+	}
+	// The EOP fleet must save a meaningful fraction.
+	if hp.EnergyKWh > nominal.EnergyKWh*0.85 {
+		t.Fatalf("high-performance EOP saved too little: %.1f vs %.1f kWh",
+			hp.EnergyKWh, nominal.EnergyKWh)
+	}
+}
+
+// TestEOPFleetRiskManagedByPolicy verifies the resilience story at
+// fleet scale: EOP operation raises the hardware failure rate, but the
+// UniServer policy keeps the SLA damage in check compared with running
+// the same EOP fleet under the legacy policy.
+func TestEOPFleetRiskManagedByPolicy(t *testing.T) {
+	var uniViol, legViol, uniCrashes, nomCrashes int
+	for seed := uint64(0); seed < 5; seed++ {
+		uni := runFleet(t, vfr.ModeHighPerformance, UniServerPolicy(), 400+seed*10)
+		leg := runFleet(t, vfr.ModeHighPerformance, LegacyPolicy(), 400+seed*10)
+		nom := runFleet(t, vfr.ModeNominal, UniServerPolicy(), 400+seed*10)
+		uniViol += uni.SLAViolations
+		legViol += leg.SLAViolations
+		uniCrashes += uni.Crashes
+		nomCrashes += nom.Crashes
+	}
+	if uniCrashes <= nomCrashes {
+		t.Fatalf("EOP fleet should crash more than nominal: %d vs %d", uniCrashes, nomCrashes)
+	}
+	if uniViol >= legViol {
+		t.Fatalf("UniServer policy on EOP fleet: %d violations, legacy %d", uniViol, legViol)
+	}
+}

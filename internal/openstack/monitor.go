@@ -1,0 +1,144 @@
+package openstack
+
+import (
+	"fmt"
+	"sort"
+
+	"uniserver/internal/rng"
+	"uniserver/internal/stats"
+)
+
+// UtilSample is one per-instance utilization observation: the
+// fine-grained VM monitoring of Section 4.B ("determining their
+// dynamically changing characteristics and virtual resource
+// utilization at a finer granularity than the existing
+// state-of-the-art").
+type UtilSample struct {
+	Window  int
+	CPUUtil float64 // of the instance's vCPUs, in [0,1]
+	MemUsed uint64  // bytes actually touched (vs allocated)
+}
+
+// Monitor retains per-instance utilization histories.
+type Monitor struct {
+	retain  int
+	history map[string][]UtilSample
+	window  int
+}
+
+// NewMonitor returns a monitor retaining `retain` samples per VM.
+func NewMonitor(retain int) *Monitor {
+	if retain <= 0 {
+		retain = 256
+	}
+	return &Monitor{retain: retain, history: make(map[string][]UtilSample)}
+}
+
+// SampleFleet observes every running instance on every node: actual
+// CPU use is the workload profile's activity with per-window jitter,
+// and actual memory use follows the profile's ramp/sawtooth, which is
+// typically well below the allocation.
+func (mon *Monitor) SampleFleet(m *Manager, src *rng.Source) {
+	mon.window++
+	for _, n := range m.Nodes() {
+		if !n.Online() {
+			continue
+		}
+		for _, inst := range n.Instances() {
+			p := inst.Spec.Profile
+			cpu := p.CPUActivity + src.Normal(0, 0.05)
+			if cpu < 0 {
+				cpu = 0
+			}
+			if cpu > 1 {
+				cpu = 1
+			}
+			s := UtilSample{
+				Window:  mon.window,
+				CPUUtil: cpu,
+				MemUsed: p.MemAtWindow(mon.window),
+			}
+			if s.MemUsed > inst.Spec.MemBytes {
+				s.MemUsed = inst.Spec.MemBytes
+			}
+			h := append(mon.history[inst.Spec.Name], s)
+			if len(h) > mon.retain {
+				h = h[len(h)-mon.retain:]
+			}
+			mon.history[inst.Spec.Name] = h
+		}
+	}
+}
+
+// Dynamics summarizes an instance's observed behaviour.
+type Dynamics struct {
+	VM           string
+	Samples      int
+	CPUMean      float64
+	CPUStdDev    float64
+	MemMeanBytes uint64
+	// OverallocRatio is allocated memory over mean used memory; large
+	// values flag right-sizing opportunities.
+	OverallocRatio float64
+}
+
+// Dynamics returns the observed characteristics of one instance.
+func (mon *Monitor) Dynamics(m *Manager, vm string) (Dynamics, error) {
+	h := mon.history[vm]
+	if len(h) == 0 {
+		return Dynamics{}, fmt.Errorf("openstack: no samples for %q", vm)
+	}
+	cpu := make([]float64, len(h))
+	memSum := uint64(0)
+	for i, s := range h {
+		cpu[i] = s.CPUUtil
+		memSum += s.MemUsed
+	}
+	d := Dynamics{
+		VM:           vm,
+		Samples:      len(h),
+		CPUMean:      stats.Mean(cpu),
+		CPUStdDev:    stats.StdDev(cpu),
+		MemMeanBytes: memSum / uint64(len(h)),
+	}
+	var alloc uint64
+	for _, n := range m.Nodes() {
+		for _, inst := range n.Instances() {
+			if inst.Spec.Name == vm {
+				alloc = inst.Spec.MemBytes
+			}
+		}
+	}
+	if alloc > 0 && d.MemMeanBytes > 0 {
+		d.OverallocRatio = float64(alloc) / float64(d.MemMeanBytes)
+	}
+	return d, nil
+}
+
+// Monitored returns the instance names with at least one sample,
+// sorted.
+func (mon *Monitor) Monitored() []string {
+	out := make([]string, 0, len(mon.history))
+	for vm := range mon.history {
+		out = append(out, vm)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RightSizingCandidates returns instances whose memory over-allocation
+// exceeds the threshold ratio — input for the scheduler's packing
+// decisions.
+func (mon *Monitor) RightSizingCandidates(m *Manager, ratio float64) []Dynamics {
+	var out []Dynamics
+	for _, vm := range mon.Monitored() {
+		d, err := mon.Dynamics(m, vm)
+		if err != nil {
+			continue
+		}
+		if d.OverallocRatio >= ratio {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package openstack
+
+import (
+	"testing"
+
+	"uniserver/internal/rng"
+	"uniserver/internal/workload"
+)
+
+func monitoredManager(t *testing.T) (*Manager, *Monitor) {
+	t.Helper()
+	m, _, _ := twoNodeManager(t, UniServerPolicy())
+	if _, err := m.Schedule(spec("vm-a", 2, 4<<30), SLAGold); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Schedule(spec("vm-b", 1, 2<<30), SLABronze); err != nil {
+		t.Fatal(err)
+	}
+	return m, NewMonitor(64)
+}
+
+func TestSampleFleetBuildsHistory(t *testing.T) {
+	m, mon := monitoredManager(t)
+	src := rng.New(1)
+	for w := 0; w < 20; w++ {
+		mon.SampleFleet(m, src)
+	}
+	names := mon.Monitored()
+	if len(names) != 2 || names[0] != "vm-a" || names[1] != "vm-b" {
+		t.Fatalf("monitored = %v", names)
+	}
+	d, err := mon.Dynamics(m, "vm-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Samples != 20 {
+		t.Fatalf("samples = %d", d.Samples)
+	}
+	p := workload.IoTEdgeAnalytics()
+	if d.CPUMean < p.CPUActivity-0.1 || d.CPUMean > p.CPUActivity+0.1 {
+		t.Fatalf("cpu mean = %v, profile activity %v", d.CPUMean, p.CPUActivity)
+	}
+	if d.CPUStdDev <= 0 || d.CPUStdDev > 0.2 {
+		t.Fatalf("cpu stddev = %v", d.CPUStdDev)
+	}
+	if d.MemMeanBytes == 0 || d.MemMeanBytes > 4<<30 {
+		t.Fatalf("mem mean = %d", d.MemMeanBytes)
+	}
+}
+
+func TestDynamicsErrorsForUnknown(t *testing.T) {
+	m, mon := monitoredManager(t)
+	if _, err := mon.Dynamics(m, "ghost"); err == nil {
+		t.Fatal("unknown VM accepted")
+	}
+}
+
+func TestHistoryRetentionBound(t *testing.T) {
+	m, mon := monitoredManager(t)
+	src := rng.New(2)
+	for w := 0; w < 200; w++ {
+		mon.SampleFleet(m, src)
+	}
+	d, err := mon.Dynamics(m, "vm-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Samples != 64 {
+		t.Fatalf("retained %d samples, want 64", d.Samples)
+	}
+}
+
+func TestRightSizingCandidates(t *testing.T) {
+	m, mon := monitoredManager(t)
+	src := rng.New(3)
+	for w := 0; w < 30; w++ {
+		mon.SampleFleet(m, src)
+	}
+	// vm-a was allocated 4 GiB against a 512 MiB working set: heavily
+	// over-allocated once the ramp finishes.
+	cands := mon.RightSizingCandidates(m, 3)
+	found := false
+	for _, d := range cands {
+		if d.VM == "vm-a" {
+			found = true
+			if d.OverallocRatio < 3 {
+				t.Fatalf("overalloc = %v", d.OverallocRatio)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("vm-a not flagged for right-sizing: %+v", cands)
+	}
+	if len(mon.RightSizingCandidates(m, 1e9)) != 0 {
+		t.Fatal("absurd threshold should match nothing")
+	}
+}
+
+func TestSampleSkipsOfflineNodes(t *testing.T) {
+	m, a, b := twoNodeManager(t, UniServerPolicy())
+	if _, err := m.Schedule(spec("vm", 1, 2<<30), SLABronze); err != nil {
+		t.Fatal(err)
+	}
+	a.online = false
+	b.online = false
+	mon := NewMonitor(8)
+	mon.SampleFleet(m, rng.New(4))
+	if len(mon.Monitored()) != 0 {
+		t.Fatal("offline nodes sampled")
+	}
+}

@@ -1,0 +1,172 @@
+package openstack
+
+import (
+	"errors"
+	"time"
+
+	"uniserver/internal/rng"
+	"uniserver/internal/workload"
+)
+
+// SimConfig shapes a VM-stream simulation.
+type SimConfig struct {
+	// Window is the observation/scheduling window length.
+	Window time.Duration
+	// Repair is how long a crashed node stays offline.
+	Repair time.Duration
+	// Horizon bounds the simulation length.
+	Horizon time.Duration
+	// DegradeProb is the per-window probability that some online node
+	// starts behaving erratically (aging, marginal EOP): its failure
+	// probability is multiplied by DegradeFactor. The HealthLog/
+	// Predictor pipeline surfaces this as a raised FailProb, which the
+	// proactive-migration policy acts on.
+	DegradeProb   float64
+	DegradeFactor float64
+}
+
+// DefaultSimConfig returns a day-long simulation with 5-minute windows.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Window:        5 * time.Minute,
+		Repair:        30 * time.Minute,
+		Horizon:       24 * time.Hour,
+		DegradeProb:   0.03,
+		DegradeFactor: 40,
+	}
+}
+
+// SimResult summarizes a stream simulation.
+type SimResult struct {
+	Windows              int
+	Scheduled            int
+	Rejected             int
+	Migrations           int
+	SLAViolations        int
+	UserFacingViolations int
+	Crashes              int
+	EnergyKWh            float64
+	// MeanAvailability averages the per-node availability.
+	MeanAvailability float64
+}
+
+// RunStream drives an arrival stream through the manager: VMs arrive
+// and terminate on schedule, nodes degrade, crash and repair, and the
+// policy's proactive migration runs every window. Crashed-node repairs
+// include re-characterization, restoring the node's original failure
+// probability (the StressLog's role in the full system).
+func RunStream(m *Manager, arrivals []workload.Arrival, cfg SimConfig, src *rng.Source) (SimResult, error) {
+	if cfg.Window <= 0 || cfg.Horizon <= 0 {
+		return SimResult{}, errors.New("openstack: sim needs positive window and horizon")
+	}
+	type departure struct {
+		at   time.Duration
+		name string
+	}
+	var departures []departure
+	original := make(map[string]float64, len(m.nodes))
+	for name, n := range m.nodes {
+		original[name] = n.BaseFailProb
+	}
+
+	slaFor := func(i int) SLA {
+		switch i % 3 {
+		case 0:
+			return SLAGold
+		case 1:
+			return SLASilver
+		default:
+			return SLABronze
+		}
+	}
+
+	res := SimResult{}
+	next := 0
+	for now := time.Duration(0); now < cfg.Horizon; now += cfg.Window {
+		res.Windows++
+
+		// Arrivals due this window.
+		for next < len(arrivals) && arrivals[next].At <= now {
+			a := arrivals[next]
+			if _, err := m.Schedule(a.Spec, slaFor(next)); err == nil {
+				departures = append(departures, departure{at: now + a.Lifetime, name: a.Spec.Name})
+			}
+			next++
+		}
+
+		// Departures due this window.
+		kept := departures[:0]
+		for _, d := range departures {
+			if d.at <= now {
+				m.Terminate(d.name)
+				continue
+			}
+			kept = append(kept, d)
+		}
+		departures = kept
+
+		// Degradation lottery: an online node turns erratic.
+		if src.Bernoulli(cfg.DegradeProb) {
+			online := make([]*Node, 0, len(m.nodes))
+			for _, n := range m.Nodes() {
+				if n.Online() {
+					online = append(online, n)
+				}
+			}
+			if len(online) > 0 {
+				victim := online[src.Intn(len(online))]
+				victim.BaseFailProb *= cfg.DegradeFactor
+				if victim.BaseFailProb > 0.5 {
+					victim.BaseFailProb = 0.5
+				}
+			}
+		}
+
+		// Proactive migration sees the raised FailProb before the
+		// crash lottery of this window resolves.
+		res.Migrations += m.ProactiveMigration()
+
+		wasOffline := map[string]bool{}
+		for _, n := range m.Nodes() {
+			wasOffline[n.Name] = !n.Online()
+		}
+		m.Tick(cfg.Window, now, cfg.Repair, src)
+
+		// Nodes returning from repair have been re-characterized.
+		for _, n := range m.Nodes() {
+			if wasOffline[n.Name] && n.Online() {
+				n.BaseFailProb = original[n.Name]
+			}
+		}
+	}
+
+	res.Scheduled = m.Scheduled
+	res.Rejected = m.Rejected
+	res.SLAViolations = m.SLAViolations
+	res.UserFacingViolations = m.UserFacingViolations
+	res.Crashes = m.Crashes
+	res.EnergyKWh = m.EnergyJ / 3.6e6
+
+	total := 0.0
+	for _, n := range m.Nodes() {
+		total += n.Metrics().Availability
+	}
+	res.MeanAvailability = total / float64(len(m.nodes))
+	return res, nil
+}
+
+// Fleet builds a homogeneous fleet of n nodes with mild hardware
+// lottery on the base failure probability.
+func Fleet(n int, cores int, memBytes uint64, src *rng.Source) []*Node {
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		base := 0.0004 * (0.5 + src.Float64()) // 0.0002..0.0006 per window
+		nodes[i] = NewNode(nodeName(i), cores, memBytes, base)
+	}
+	return nodes
+}
+
+func nodeName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	return "node-" + string(letters[i%26]) + string('0'+byte(i/26%10))
+}

@@ -1,0 +1,59 @@
+package openstack
+
+import (
+	"testing"
+
+	"uniserver/internal/rng"
+	"uniserver/internal/workload"
+)
+
+// TestUserFacingViolationAccounting kills a node directly and checks
+// the gold-instance loss is tallied separately.
+func TestUserFacingViolationAccounting(t *testing.T) {
+	a := NewNode("node-a", 8, 32<<30, 1.0)
+	m, err := NewManager(UniServerPolicy(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.place(&Instance{Spec: spec("gold", 1, 1<<30), SLA: SLAGold})
+	a.place(&Instance{Spec: spec("bronze", 1, 1<<30), SLA: SLABronze})
+	m.Tick(1, 0, 1, rng.New(1))
+	if m.SLAViolations != 2 {
+		t.Fatalf("violations = %d", m.SLAViolations)
+	}
+	if m.UserFacingViolations != 1 {
+		t.Fatalf("user-facing violations = %d, want 1", m.UserFacingViolations)
+	}
+}
+
+// TestProactiveMigrationShieldsUserFacing runs matched streams and
+// verifies the UniServer policy loses fewer user-facing instances than
+// the legacy policy — the paper's "critical to sustain
+// high-availability especially for high value and user-facing
+// workloads".
+func TestProactiveMigrationShieldsUserFacing(t *testing.T) {
+	run := func(policy Policy, seed uint64) SimResult {
+		nodes := Fleet(8, 16, 64<<30, rng.New(seed))
+		m, err := NewManager(policy, nodes...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals, err := workload.Stream(workload.DefaultStreamConfig(), rng.New(seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunStream(m, arrivals, DefaultSimConfig(), rng.New(seed+2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	var uni, leg int
+	for seed := uint64(0); seed < 8; seed++ {
+		uni += run(UniServerPolicy(), 700+seed*10).UserFacingViolations
+		leg += run(LegacyPolicy(), 700+seed*10).UserFacingViolations
+	}
+	if uni >= leg {
+		t.Fatalf("user-facing violations: uniserver %d, legacy %d", uni, leg)
+	}
+}

@@ -1,0 +1,190 @@
+package predictor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ConfusionMatrix tallies classification outcomes at a threshold.
+type ConfusionMatrix struct {
+	TP, FP, TN, FN int
+}
+
+// Confusion evaluates the model over samples at the given probability
+// threshold.
+func (m *Model) Confusion(samples []Sample, threshold float64) ConfusionMatrix {
+	var c ConfusionMatrix
+	for _, s := range samples {
+		pred := m.Predict(s.F) >= threshold
+		switch {
+		case pred && s.Crashed:
+			c.TP++
+		case pred && !s.Crashed:
+			c.FP++
+		case !pred && !s.Crashed:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted
+// positive.
+func (c ConfusionMatrix) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there were no positives.
+func (c ConfusionMatrix) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c ConfusionMatrix) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FalsePositiveRate returns FP/(FP+TN): the fraction of safe points
+// the model would needlessly refuse — wasted energy savings.
+func (c ConfusionMatrix) FalsePositiveRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// String renders the matrix compactly.
+func (c ConfusionMatrix) String() string {
+	return fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d precision=%.3f recall=%.3f f1=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.F1())
+}
+
+// AUC computes the area under the ROC curve over the samples by the
+// rank statistic (probability a random crashed sample scores above a
+// random safe one). It returns an error when one class is absent.
+func (m *Model) AUC(samples []Sample) (float64, error) {
+	type scored struct {
+		p       float64
+		crashed bool
+	}
+	xs := make([]scored, 0, len(samples))
+	pos, neg := 0, 0
+	for _, s := range samples {
+		xs = append(xs, scored{m.Predict(s.F), s.Crashed})
+		if s.Crashed {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, errors.New("predictor: AUC needs both classes")
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i].p < xs[j].p })
+	// Sum ranks of positive samples (average ranks over ties).
+	rankSum := 0.0
+	i := 0
+	for i < len(xs) {
+		j := i
+		for j < len(xs) && xs[j].p == xs[i].p {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // 1-based average rank of the tie group
+		for k := i; k < j; k++ {
+			if xs[k].crashed {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg)), nil
+}
+
+// CalibrationBin is one reliability-diagram bucket.
+type CalibrationBin struct {
+	Lo, Hi        float64
+	N             int
+	MeanPredicted float64
+	ObservedRate  float64
+}
+
+// Calibration buckets the samples into `bins` equal-width predicted-
+// probability bins and reports predicted-versus-observed crash rates.
+func (m *Model) Calibration(samples []Sample, bins int) ([]CalibrationBin, error) {
+	if bins <= 0 {
+		return nil, errors.New("predictor: bins must be positive")
+	}
+	out := make([]CalibrationBin, bins)
+	sums := make([]float64, bins)
+	crashes := make([]int, bins)
+	for i := range out {
+		out[i].Lo = float64(i) / float64(bins)
+		out[i].Hi = float64(i+1) / float64(bins)
+	}
+	for _, s := range samples {
+		p := m.Predict(s.F)
+		idx := int(p * float64(bins))
+		if idx == bins {
+			idx--
+		}
+		out[idx].N++
+		sums[idx] += p
+		if s.Crashed {
+			crashes[idx]++
+		}
+	}
+	for i := range out {
+		if out[i].N > 0 {
+			out[i].MeanPredicted = sums[i] / float64(out[i].N)
+			out[i].ObservedRate = float64(crashes[i]) / float64(out[i].N)
+		}
+	}
+	return out, nil
+}
+
+// ExpectedCalibrationError returns the N-weighted mean absolute gap
+// between predicted and observed rates across bins.
+func ExpectedCalibrationError(bins []CalibrationBin) float64 {
+	total := 0
+	weighted := 0.0
+	for _, b := range bins {
+		total += b.N
+		gap := b.MeanPredicted - b.ObservedRate
+		if gap < 0 {
+			gap = -gap
+		}
+		weighted += float64(b.N) * gap
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / float64(total)
+}
+
+// RenderCalibration renders a reliability diagram as text.
+func RenderCalibration(bins []CalibrationBin) string {
+	var b strings.Builder
+	for _, bin := range bins {
+		if bin.N == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "[%.2f,%.2f) n=%-5d predicted=%.3f observed=%.3f\n",
+			bin.Lo, bin.Hi, bin.N, bin.MeanPredicted, bin.ObservedRate)
+	}
+	return b.String()
+}

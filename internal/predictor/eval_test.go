@@ -1,0 +1,113 @@
+package predictor
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	m, train := trainedModel(t)
+	c := m.Confusion(train, 0.5)
+	if c.TP+c.FP+c.TN+c.FN != len(train) {
+		t.Fatal("confusion matrix loses samples")
+	}
+	if c.Precision() < 0.85 || c.Recall() < 0.85 {
+		t.Fatalf("weak classifier: %s", c)
+	}
+	if c.F1() < 0.85 {
+		t.Fatalf("F1 = %v", c.F1())
+	}
+	if !strings.Contains(c.String(), "precision=") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestConfusionThresholdTradeoff(t *testing.T) {
+	m, train := trainedModel(t)
+	loose := m.Confusion(train, 0.1)  // flag almost everything risky
+	strict := m.Confusion(train, 0.9) // flag almost nothing
+	if loose.Recall() < strict.Recall() {
+		t.Fatal("lower threshold should not reduce recall")
+	}
+	if loose.FalsePositiveRate() < strict.FalsePositiveRate() {
+		t.Fatal("lower threshold should not reduce false-positive rate")
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	var c ConfusionMatrix
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.FalsePositiveRate() != 0 {
+		t.Fatal("empty matrix metrics should be 0")
+	}
+}
+
+func TestAUCStrongModel(t *testing.T) {
+	m, _ := trainedModel(t)
+	test := syntheticDataset(77, 1500)
+	auc, err := m.AUC(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.95 {
+		t.Fatalf("AUC = %.3f, want near-perfect separation", auc)
+	}
+}
+
+func TestAUCChanceForUntrained(t *testing.T) {
+	m := NewModel() // all-zero weights: constant prediction
+	test := syntheticDataset(78, 800)
+	auc, err := m.AUC(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.02 {
+		t.Fatalf("constant model AUC = %.3f, want 0.5 (tie handling)", auc)
+	}
+}
+
+func TestAUCNeedsBothClasses(t *testing.T) {
+	m := NewModel()
+	onlySafe := []Sample{{Crashed: false}, {Crashed: false}}
+	if _, err := m.AUC(onlySafe); err == nil {
+		t.Fatal("single-class AUC accepted")
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	m, train := trainedModel(t)
+	bins, err := m.Calibration(train, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.N
+		if b.N > 0 && (b.ObservedRate < 0 || b.ObservedRate > 1) {
+			t.Fatalf("observed rate out of range: %+v", b)
+		}
+	}
+	if total != len(train) {
+		t.Fatal("calibration loses samples")
+	}
+	ece := ExpectedCalibrationError(bins)
+	if ece > 0.08 {
+		t.Fatalf("expected calibration error = %.3f, want reasonably calibrated", ece)
+	}
+	if RenderCalibration(bins) == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestCalibrationValidation(t *testing.T) {
+	m := NewModel()
+	if _, err := m.Calibration(nil, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if ExpectedCalibrationError(nil) != 0 {
+		t.Fatal("empty ECE should be 0")
+	}
+}

@@ -1,0 +1,46 @@
+package predictor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelJSON is the wire form of a trained model.
+type modelJSON struct {
+	Version int                   `json:"version"`
+	W       [FeatureCount]float64 `json:"weights"`
+	B       float64               `json:"bias"`
+	LR      float64               `json:"learning_rate"`
+	L2      float64               `json:"l2"`
+	Trained int                   `json:"trained_samples"`
+}
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+// Save serializes the trained model; the Predictor daemon persists it
+// so a restarted node advises from day one without retraining.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(modelJSON{
+		Version: persistVersion,
+		W:       m.W, B: m.B, LR: m.LR, L2: m.L2, Trained: m.Trained,
+	}); err != nil {
+		return fmt.Errorf("predictor: saving model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("predictor: loading model: %w", err)
+	}
+	if in.Version != persistVersion {
+		return nil, fmt.Errorf("predictor: unsupported model version %d", in.Version)
+	}
+	return &Model{W: in.W, B: in.B, LR: in.LR, L2: in.L2, Trained: in.Trained}, nil
+}

@@ -1,0 +1,41 @@
+package predictor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m, _ := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != m.W || got.B != m.B || got.Trained != m.Trained {
+		t.Fatal("round trip lost parameters")
+	}
+	// The restored model predicts identically.
+	f := Features{UndervoltPct: 9, DroopIntensity: 0.6, TempC: 60}
+	if got.Predict(f) != m.Predict(f) {
+		t.Fatal("restored model predicts differently")
+	}
+	// And keeps learning.
+	got.Update(Sample{F: f, Crashed: true})
+	if got.Trained != m.Trained+1 {
+		t.Fatal("restored model cannot continue training")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

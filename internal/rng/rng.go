@@ -1,0 +1,248 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator and the distribution samplers used throughout the UniServer
+// simulators.
+//
+// Every stochastic component in this repository takes an explicit
+// *Source so that experiments are exactly reproducible: the same seed
+// always yields the same characterization results, fault-injection
+// outcomes and scheduler decisions. The generator is SplitMix64
+// (Steele, Lea, Flood; "Fast splittable pseudorandom number
+// generators", OOPSLA 2014), which passes BigCrush and supports cheap
+// stream splitting, making it well suited to hierarchical simulations
+// where each chip, core, DIMM and daemon owns an independent stream.
+package rng
+
+import "math"
+
+// goldenGamma is the odd constant used by SplitMix64 to advance the
+// state; it is the closest odd integer to 2^64/phi.
+const goldenGamma = 0x9E3779B97F4A7C15
+
+// Source is a deterministic SplitMix64 random number generator.
+// The zero value is a valid generator seeded with 0; prefer New so
+// that intent is explicit.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with the given value. Two Sources with
+// the same seed produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split derives an independent child stream from s. The child's seed
+// is drawn from the parent stream, so sibling order matters but the
+// construction keeps parent and children statistically independent.
+func (s *Source) Split() *Source {
+	return &Source{state: s.Uint64()}
+}
+
+// SplitLabeled derives an independent child stream bound to a string
+// label, so that adding a new consumer does not perturb the streams of
+// existing consumers that use different labels.
+func (s *Source) SplitLabeled(label string) *Source {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return &Source{state: s.state ^ h}
+}
+
+// Uint64 returns the next value of the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += goldenGamma
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit value.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Bool returns true with probability 1/2.
+func (s *Source) Bool() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Range returns a uniform value in [lo, hi). It panics if hi < lo.
+func (s *Source) Range(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Normal returns a sample from the normal distribution with the given
+// mean and standard deviation, using the Marsaglia polar method.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// LogNormal returns a sample whose natural logarithm is normally
+// distributed with parameters mu and sigma. DRAM cell retention times
+// are conventionally modeled as log-normal (Liu et al., ISCA 2013).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Exponential returns a sample from the exponential distribution with
+// the given rate (lambda). It panics if rate <= 0.
+func (s *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u) / rate
+		}
+	}
+}
+
+// Poisson returns a sample from the Poisson distribution with the
+// given mean. For small means it uses Knuth's product method; for
+// large means it falls back to a normal approximation, which is
+// adequate for the event-count magnitudes used by the simulators.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		v := s.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	limit := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Binomial returns the number of successes in n Bernoulli trials with
+// success probability p. For large n·p it uses a Poisson or normal
+// approximation so that simulating billions of DRAM cells stays cheap.
+func (s *Source) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	switch {
+	case n <= 64:
+		k := 0
+		for i := 0; i < n; i++ {
+			if s.Float64() < p {
+				k++
+			}
+		}
+		return k
+	case mean < 32:
+		// Rare-event regime: Poisson approximation.
+		k := s.Poisson(mean)
+		if k > n {
+			return n
+		}
+		return k
+	default:
+		v := s.Normal(mean, math.Sqrt(mean*(1-p)))
+		if v < 0 {
+			return 0
+		}
+		if v > float64(n) {
+			return n
+		}
+		return int(v + 0.5)
+	}
+}
+
+// Perm returns a random permutation of [0, n) using Fisher–Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap
+// function, mirroring math/rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choice returns a uniformly chosen index weighted by the given
+// non-negative weights. It panics if weights is empty or sums to zero.
+func (s *Source) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: Choice with negative weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("rng: Choice with empty or zero-sum weights")
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,229 @@
+// Package security implements the threat analysis the paper commits to
+// for servers operating at extended operating points (innovation viii:
+// "analyze security threats in servers operating under the new EOP and
+// provide low cost countermeasures"), covering the two EOP-specific
+// attack classes:
+//
+//  1. An error-rate side channel: near Vmin, correctable-error counts
+//     correlate with co-tenant activity, so an attacker reading its own
+//     ECC telemetry (or shared HealthLog counters) can decode a victim
+//     VM's activity pattern. The countermeasures are an operating-point
+//     floor (back away from the error-onset region) and telemetry noise
+//     injection.
+//
+//  2. A droop (dI/dt) availability attack: a malicious VM executing a
+//     voltage-noise virus can push an undervolted host past its crash
+//     point. The countermeasure is a virus detector on the per-VM droop
+//     intensity estimate, with eviction/point-raising as response.
+package security
+
+import (
+	"errors"
+	"sort"
+
+	"uniserver/internal/rng"
+)
+
+// ChannelConfig parameterizes the error-rate side channel experiment.
+type ChannelConfig struct {
+	// UndervoltMV is how far below the ECC error-onset voltage the
+	// host runs (0 = at onset; larger = deeper, leakier).
+	UndervoltMV float64
+	// OnsetWindowMV is the width of the error-onset region.
+	OnsetWindowMV float64
+	// BaseRate is the mean correctable-error count per window at the
+	// bottom of the onset window under full activity.
+	BaseRate float64
+	// Windows is the number of observation windows (one transmitted
+	// bit per window).
+	Windows int
+	// NoiseInjection adds Poisson camouflage events with this mean to
+	// every reported count (the countermeasure; 0 disables).
+	NoiseInjection float64
+}
+
+// DefaultChannelConfig returns a deep-EOP configuration where the
+// channel is wide open.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{
+		UndervoltMV:   12,
+		OnsetWindowMV: 15,
+		BaseRate:      6,
+		Windows:       512,
+	}
+}
+
+// errorRate returns the mean correctable-error count for one window
+// given the victim's activity in [0,1].
+func (c ChannelConfig) errorRate(activity float64) float64 {
+	depth := c.UndervoltMV / c.OnsetWindowMV
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > 1 {
+		depth = 1
+	}
+	return c.BaseRate * depth * activity
+}
+
+// ChannelResult reports a side-channel experiment.
+type ChannelResult struct {
+	BitsSent    int
+	BitsCorrect int
+	// Accuracy is the attacker's decoding accuracy; 0.5 is chance.
+	Accuracy float64
+	// Leaking reports whether the accuracy is materially above chance.
+	Leaking bool
+}
+
+// RunChannel simulates the covert/side channel: the victim encodes a
+// random bit per window as high/low activity, errors accrue at the
+// activity-dependent rate (plus injected camouflage noise), and the
+// attacker decodes with a median threshold over the observed counts.
+func RunChannel(cfg ChannelConfig, src *rng.Source) (ChannelResult, error) {
+	if cfg.Windows <= 0 {
+		return ChannelResult{}, errors.New("security: need positive window count")
+	}
+	if cfg.OnsetWindowMV <= 0 {
+		return ChannelResult{}, errors.New("security: onset window must be positive")
+	}
+	bits := make([]bool, cfg.Windows)
+	counts := make([]float64, cfg.Windows)
+	for i := range bits {
+		bits[i] = src.Bool()
+		activity := 0.1
+		if bits[i] {
+			activity = 0.95
+		}
+		n := src.Poisson(cfg.errorRate(activity))
+		if cfg.NoiseInjection > 0 {
+			n += src.Poisson(cfg.NoiseInjection)
+		}
+		counts[i] = float64(n)
+	}
+	// Median-threshold decoder.
+	sorted := append([]float64(nil), counts...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	res := ChannelResult{BitsSent: cfg.Windows}
+	for i, c := range counts {
+		decoded := c > median
+		if decoded == bits[i] {
+			res.BitsCorrect++
+		}
+	}
+	res.Accuracy = float64(res.BitsCorrect) / float64(res.BitsSent)
+	res.Leaking = res.Accuracy > 0.65
+	return res, nil
+}
+
+// VoltageFloor is the first countermeasure: clamp the operating point
+// so the host never enters the error-onset region deeper than
+// maxDepthMV. It returns the clamped configuration.
+func VoltageFloor(cfg ChannelConfig, maxDepthMV float64) ChannelConfig {
+	if maxDepthMV < 0 {
+		maxDepthMV = 0
+	}
+	if cfg.UndervoltMV > maxDepthMV {
+		cfg.UndervoltMV = maxDepthMV
+	}
+	return cfg
+}
+
+// WithNoiseInjection is the second countermeasure: camouflage events
+// in the telemetry stream. The cost is bounded and quantifiable: mean
+// extra reported events per window.
+func WithNoiseInjection(cfg ChannelConfig, mean float64) ChannelConfig {
+	cfg.NoiseInjection = mean
+	return cfg
+}
+
+// DetectorConfig tunes the droop-virus detector.
+type DetectorConfig struct {
+	// IntensityThreshold flags VMs whose estimated droop intensity
+	// exceeds it; real workloads top out around 0.95 (mcf), so the
+	// default sits just above.
+	IntensityThreshold float64
+	// ConsecutiveWindows is how many consecutive exceedances are
+	// required before flagging (debounce).
+	ConsecutiveWindows int
+}
+
+// DefaultDetectorConfig returns the standard detector tuning.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{IntensityThreshold: 0.97, ConsecutiveWindows: 3}
+}
+
+// Detector flags VMs running droop-virus-like kernels on an
+// undervolted host.
+type Detector struct {
+	cfg    DetectorConfig
+	streak map[string]int
+	flags  map[string]bool
+}
+
+// NewDetector returns a detector.
+func NewDetector(cfg DetectorConfig) *Detector {
+	if cfg.IntensityThreshold <= 0 {
+		cfg = DefaultDetectorConfig()
+	}
+	if cfg.ConsecutiveWindows <= 0 {
+		cfg.ConsecutiveWindows = 1
+	}
+	return &Detector{cfg: cfg, streak: make(map[string]int), flags: make(map[string]bool)}
+}
+
+// Observe ingests one window's droop-intensity estimate for a VM and
+// returns true if the VM is (now) flagged.
+func (d *Detector) Observe(vm string, intensity float64) bool {
+	if intensity > d.cfg.IntensityThreshold {
+		d.streak[vm]++
+		if d.streak[vm] >= d.cfg.ConsecutiveWindows {
+			d.flags[vm] = true
+		}
+	} else {
+		d.streak[vm] = 0
+	}
+	return d.flags[vm]
+}
+
+// Flagged returns the flagged VM names, sorted.
+func (d *Detector) Flagged() []string {
+	out := make([]string, 0, len(d.flags))
+	for vm := range d.flags {
+		out = append(out, vm)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FalsePositiveRate estimates, by simulation, how often a benign
+// workload with the given mean intensity and jitter gets flagged over
+// the given number of windows.
+func FalsePositiveRate(cfg DetectorConfig, meanIntensity, jitter float64, windows, trials int, src *rng.Source) float64 {
+	if trials <= 0 || windows <= 0 {
+		return 0
+	}
+	flagged := 0
+	for t := 0; t < trials; t++ {
+		d := NewDetector(cfg)
+		hit := false
+		for w := 0; w < windows; w++ {
+			v := meanIntensity + src.Normal(0, jitter)
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			if d.Observe("vm", v) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			flagged++
+		}
+	}
+	return float64(flagged) / float64(trials)
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want, tol float64 }{
+		{0.5, 0, 1e-9},
+		{0.8413447460685429, 1, 1e-6},
+		{0.15865525393145707, -1, 1e-6},
+		{0.9772498680518208, 2, 1e-6},
+		{0.9999997133484281, 5, 1e-5},
+		{1e-9, -5.9978, 1e-3},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > c.tol {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	if got := NormalCDF(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Phi(0) = %v", got)
+	}
+	if got := NormalCDF(1.96); math.Abs(got-0.975) > 1e-3 {
+		t.Errorf("Phi(1.96) = %v", got)
+	}
+	if got := NormalCDF(-6); got > 1.1e-9 || got < 0.9e-9 {
+		t.Errorf("Phi(-6) = %v, want ~1e-9", got)
+	}
+}
+
+func TestQuantileCDFInverseProperty(t *testing.T) {
+	err := quick.Check(func(raw uint32) bool {
+		// p spread across (1e-12, 1-1e-12) with log emphasis on tails.
+		u := float64(raw)/float64(math.MaxUint32)*0.999998 + 1e-6
+		x := NormalQuantile(u)
+		back := NormalCDF(x)
+		return math.Abs(back-u) < 1e-6
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(ra, rb uint32) bool {
+		pa := float64(ra)/float64(math.MaxUint32)*0.998 + 0.001
+		pb := float64(rb)/float64(math.MaxUint32)*0.998 + 0.001
+		if pa == pb {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalQuantile(pa) <= NormalQuantile(pb)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileDeepTail(t *testing.T) {
+	// The DRAM simulator samples at p ~ 1e-12; verify sane values.
+	x := NormalQuantile(1e-12)
+	if x > -6.5 || x < -7.5 {
+		t.Fatalf("NormalQuantile(1e-12) = %v, want ~-7.03", x)
+	}
+}

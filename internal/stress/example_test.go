@@ -1,0 +1,39 @@
+package stress_test
+
+import (
+	"fmt"
+
+	"uniserver/internal/cpu"
+	"uniserver/internal/stress"
+)
+
+// A genome is an instruction-mix recipe; expressing it yields a
+// benchmark profile. Alternating vector bursts with idle slots at the
+// PDN-resonant period maximizes the supply droop.
+func ExampleGenome_Express() {
+	didt := stress.Genome{VecFrac: 0.5, NopFrac: 0.5, BurstPeriod: 16}
+	virus := didt.Express("didt-virus")
+	fmt.Printf("droop intensity %.2f, activity %.2f\n", virus.DroopIntensity, virus.Activity)
+
+	calm := stress.Genome{ALUFrac: 1, BurstPeriod: 16}.Express("calm")
+	fmt.Printf("pure-ALU droop intensity %.2f\n", calm.DroopIntensity)
+	// Output:
+	// droop intensity 1.00, activity 0.50
+	// pure-ALU droop intensity 0.00
+}
+
+// The hand-coded dI/dt virus out-stresses every real workload, which
+// is what makes virus-derived margins safe.
+func ExampleHandCodedViruses() {
+	virus := stress.HandCodedViruses()[0]
+	worst := 0.0
+	for _, b := range cpu.SPECSuite() {
+		if b.DroopIntensity > worst {
+			worst = b.DroopIntensity
+		}
+	}
+	fmt.Printf("virus %.2f > worst real workload %.2f: %v\n",
+		virus.DroopIntensity, worst, virus.DroopIntensity > worst)
+	// Output:
+	// virus 1.00 > worst real workload 0.95: true
+}

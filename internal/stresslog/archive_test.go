@@ -1,0 +1,41 @@
+package stresslog
+
+import (
+	"testing"
+
+	"uniserver/internal/rng"
+)
+
+// TestVirusArchiveReusedAcrossCampaigns: the first virus-enabled
+// campaign evolves and archives the voltage-noise virus; subsequent
+// campaigns reuse it instead of re-evolving.
+func TestVirusArchiveReusedAcrossCampaigns(t *testing.T) {
+	d, _, _ := testRig(t, 25)
+	p := quickParams()
+	p.UseViruses = true
+	p.Runs = 1
+
+	if d.Archive().Len() != 0 {
+		t.Fatal("archive not empty at start")
+	}
+	if _, err := d.RunCampaign(p, rng.New(25)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Archive().Len() != 1 {
+		t.Fatalf("archive len = %d after first campaign", d.Archive().Len())
+	}
+	first := d.Archive().Entries()[0]
+
+	if _, err := d.RunCampaign(p, rng.New(26)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Archive().Len() != 1 {
+		t.Fatalf("second campaign re-evolved: archive len = %d", d.Archive().Len())
+	}
+	if d.Archive().Entries()[0] != first {
+		t.Fatal("archived virus mutated across campaigns")
+	}
+	if first.Machine != "i5-4200U" {
+		t.Fatalf("entry machine = %q", first.Machine)
+	}
+}

@@ -1,0 +1,18 @@
+package tco_test
+
+import (
+	"fmt"
+
+	"uniserver/internal/tco"
+)
+
+// Table 3 of the paper: the four energy-efficiency sources compose to
+// a 36x gain, worth ~1.15x in TCO from energy alone.
+func ExampleProjectTable3() {
+	p, _ := tco.ProjectTable3(tco.DefaultCloudDC(), tco.Table3Gains())
+	fmt.Printf("overall EE: %.0fx\n", p.OverallEE)
+	fmt.Printf("TCO improvement: %.2fx\n", p.TCOImprovement)
+	// Output:
+	// overall EE: 36x
+	// TCO improvement: 1.15x
+}

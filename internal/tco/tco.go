@@ -1,0 +1,204 @@
+// Package tco implements the Total Cost of Ownership estimation tool
+// the paper commits to building (innovation vii, Section 6.D / Table
+// 3), following the analytical CapEx/OpEx framework of Hardy et al.
+// ("An Analytical Framework for Estimating TCO and Exploring Data
+// Center Design Space", ISPASS 2013) that the paper cites.
+//
+// Table 3 of the paper decomposes the projected 2019 energy-efficiency
+// improvement into four sources — technology scaling and FinFET
+// leakage reduction (1.5x), ARM server software maturity (4x), running
+// at the Edge/fog (2x), and operating at extended margins (3x) — for
+// an overall 36x energy-efficiency gain, and estimates a 1.15x TCO
+// improvement from the energy-efficiency gains alone (more when the
+// higher yield of margin-tolerant parts lowers chip cost).
+package tco
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GainSources decomposes an energy-efficiency improvement multiplier
+// into the paper's four sources.
+type GainSources struct {
+	Scaling    float64 // technology scaling + FinFET leakage reduction
+	SWMaturity float64 // ARM server software maturity
+	Fog        float64 // efficiency from running at the Edge ("fog")
+	Margins    float64 // operating at extended operating points
+}
+
+// Table3Gains returns the paper's Table 3 row.
+func Table3Gains() GainSources {
+	return GainSources{Scaling: 1.5, SWMaturity: 4, Fog: 2, Margins: 3}
+}
+
+// OverallEE returns the combined energy-efficiency multiplier (the
+// product of the sources; 36x for the Table 3 values).
+func (g GainSources) OverallEE() float64 {
+	return g.Scaling * g.SWMaturity * g.Fog * g.Margins
+}
+
+// Validate rejects non-positive factors.
+func (g GainSources) Validate() error {
+	if g.Scaling <= 0 || g.SWMaturity <= 0 || g.Fog <= 0 || g.Margins <= 0 {
+		return fmt.Errorf("tco: non-positive gain source in %+v", g)
+	}
+	return nil
+}
+
+// DataCenter parameterizes one deployment for TCO estimation. Costs
+// are in USD; the model follows the standard CapEx (servers, facility)
+// plus OpEx (energy, maintenance) decomposition over the lifetime.
+type DataCenter struct {
+	Name                 string
+	Servers              int
+	ServerCostUSD        float64 // acquisition cost per server
+	InfraCostPerServer   float64 // facility/network/rack amortized per server
+	ServerAvgPowerW      float64 // average draw per server
+	PUE                  float64 // power usage effectiveness (cooling overhead)
+	EnergyPriceUSDPerKWh float64
+	MaintPerServerYear   float64
+	LifetimeYears        float64
+}
+
+// DefaultCloudDC returns a conventional cloud deployment sized so that
+// energy is a realistic ~13-14% of TCO — the share at which the
+// paper's 36x EE gain translates into its published 1.15x TCO gain.
+func DefaultCloudDC() DataCenter {
+	return DataCenter{
+		Name:                 "cloud-dc",
+		Servers:              1000,
+		ServerCostUSD:        2600,
+		InfraCostPerServer:   1000,
+		ServerAvgPowerW:      130,
+		PUE:                  1.5,
+		EnergyPriceUSDPerKWh: 0.10,
+		MaintPerServerYear:   180,
+		LifetimeYears:        4,
+	}
+}
+
+// DefaultEdgeDC returns a micro-server Edge deployment: cheaper
+// ARM-based nodes without dedicated cooling (PUE near 1), but pricier
+// retail energy.
+func DefaultEdgeDC() DataCenter {
+	return DataCenter{
+		Name:                 "edge-dc",
+		Servers:              200,
+		ServerCostUSD:        900,
+		InfraCostPerServer:   250,
+		ServerAvgPowerW:      45,
+		PUE:                  1.1,
+		EnergyPriceUSDPerKWh: 0.16,
+		MaintPerServerYear:   90,
+		LifetimeYears:        4,
+	}
+}
+
+// Validate rejects non-physical configurations.
+func (d DataCenter) Validate() error {
+	if d.Servers <= 0 {
+		return errors.New("tco: need at least one server")
+	}
+	if d.ServerCostUSD < 0 || d.InfraCostPerServer < 0 || d.MaintPerServerYear < 0 {
+		return errors.New("tco: negative cost")
+	}
+	if d.ServerAvgPowerW <= 0 || d.PUE < 1 || d.EnergyPriceUSDPerKWh <= 0 || d.LifetimeYears <= 0 {
+		return errors.New("tco: non-physical power/energy parameters")
+	}
+	return nil
+}
+
+// CapExUSD returns acquisition plus infrastructure cost.
+func (d DataCenter) CapExUSD() float64 {
+	return float64(d.Servers) * (d.ServerCostUSD + d.InfraCostPerServer)
+}
+
+// EnergyUSD returns the lifetime energy cost including PUE overhead.
+func (d DataCenter) EnergyUSD() float64 {
+	kWh := float64(d.Servers) * d.ServerAvgPowerW / 1000 * d.PUE * 24 * 365 * d.LifetimeYears
+	return kWh * d.EnergyPriceUSDPerKWh
+}
+
+// MaintenanceUSD returns the lifetime maintenance cost.
+func (d DataCenter) MaintenanceUSD() float64 {
+	return float64(d.Servers) * d.MaintPerServerYear * d.LifetimeYears
+}
+
+// TCOUSD returns the total cost of ownership over the lifetime.
+func (d DataCenter) TCOUSD() float64 {
+	return d.CapExUSD() + d.EnergyUSD() + d.MaintenanceUSD()
+}
+
+// EnergyShare returns the energy fraction of TCO.
+func (d DataCenter) EnergyShare() float64 {
+	return d.EnergyUSD() / d.TCOUSD()
+}
+
+// ApplyEnergyEfficiency returns the deployment with the same delivered
+// work at eeFactor-times better energy efficiency (per-server power
+// divided by the factor).
+func (d DataCenter) ApplyEnergyEfficiency(eeFactor float64) (DataCenter, error) {
+	if eeFactor <= 0 {
+		return DataCenter{}, errors.New("tco: energy-efficiency factor must be positive")
+	}
+	d.ServerAvgPowerW /= eeFactor
+	d.Name = d.Name + fmt.Sprintf("+ee%.3gx", eeFactor)
+	return d, nil
+}
+
+// ApplyYieldDiscount models the paper's "lower chip cost due to higher
+// yield": parts that binning would have discarded become sellable
+// under per-part margins, lowering acquisition cost.
+func (d DataCenter) ApplyYieldDiscount(discountFrac float64) (DataCenter, error) {
+	if discountFrac < 0 || discountFrac >= 1 {
+		return DataCenter{}, errors.New("tco: discount must be in [0,1)")
+	}
+	d.ServerCostUSD *= 1 - discountFrac
+	return d, nil
+}
+
+// Improvement returns base TCO divided by improved TCO (>1 is better).
+func Improvement(base, improved DataCenter) float64 {
+	return base.TCOUSD() / improved.TCOUSD()
+}
+
+// Table3Projection reproduces the paper's Table 3 bottom line: the
+// overall EE gain and the TCO improvement from energy efficiency
+// alone, for the given deployment.
+type Table3Projection struct {
+	Gains          GainSources
+	OverallEE      float64
+	TCOBaseUSD     float64
+	TCOWithEEUSD   float64
+	TCOImprovement float64
+}
+
+// ProjectTable3 computes the projection for a deployment.
+func ProjectTable3(base DataCenter, gains GainSources) (Table3Projection, error) {
+	if err := base.Validate(); err != nil {
+		return Table3Projection{}, err
+	}
+	if err := gains.Validate(); err != nil {
+		return Table3Projection{}, err
+	}
+	improved, err := base.ApplyEnergyEfficiency(gains.OverallEE())
+	if err != nil {
+		return Table3Projection{}, err
+	}
+	return Table3Projection{
+		Gains:          gains,
+		OverallEE:      gains.OverallEE(),
+		TCOBaseUSD:     base.TCOUSD(),
+		TCOWithEEUSD:   improved.TCOUSD(),
+		TCOImprovement: Improvement(base, improved),
+	}, nil
+}
+
+// String renders the projection as a Table 3-style row.
+func (p Table3Projection) String() string {
+	return fmt.Sprintf(
+		"EE sources: scaling %.2fx x sw %.2fx x fog %.2fx x margins %.2fx = %.1fx overall; TCO %.3fx",
+		p.Gains.Scaling, p.Gains.SWMaturity, p.Gains.Fog, p.Gains.Margins,
+		p.OverallEE, p.TCOImprovement)
+}

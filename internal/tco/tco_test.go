@@ -1,0 +1,182 @@
+package tco
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable3Gains(t *testing.T) {
+	g := Table3Gains()
+	if g.Scaling != 1.5 || g.SWMaturity != 4 || g.Fog != 2 || g.Margins != 3 {
+		t.Fatalf("gains = %+v", g)
+	}
+	if got := g.OverallEE(); got != 36 {
+		t.Fatalf("overall EE = %v, want 36 (Table 3)", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (GainSources{Scaling: 0, SWMaturity: 1, Fog: 1, Margins: 1}).Validate(); err == nil {
+		t.Fatal("zero source accepted")
+	}
+}
+
+func TestDataCenterValidation(t *testing.T) {
+	if err := DefaultCloudDC().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultEdgeDC().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultCloudDC()
+	bad.Servers = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+	bad = DefaultCloudDC()
+	bad.PUE = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("PUE < 1 accepted")
+	}
+	bad = DefaultCloudDC()
+	bad.ServerCostUSD = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestTCODecomposition(t *testing.T) {
+	d := DefaultCloudDC()
+	total := d.CapExUSD() + d.EnergyUSD() + d.MaintenanceUSD()
+	if math.Abs(total-d.TCOUSD()) > 1e-6 {
+		t.Fatalf("TCO decomposition inconsistent")
+	}
+	if d.CapExUSD() != 1000*(2600+1000) {
+		t.Fatalf("CapEx = %v", d.CapExUSD())
+	}
+	// Energy: 1000 servers * 130W * 1.5 PUE * 24*365*4 h * 0.10 $/kWh.
+	wantEnergy := 1000.0 * 0.13 * 1.5 * 24 * 365 * 4 * 0.10
+	if math.Abs(d.EnergyUSD()-wantEnergy) > 1 {
+		t.Fatalf("Energy = %v, want %v", d.EnergyUSD(), wantEnergy)
+	}
+}
+
+// TestTable3TCOImprovement checks the paper's bottom line: applying
+// the 36x overall EE gain to a realistic deployment yields a ~1.15x
+// TCO improvement from energy alone.
+func TestTable3TCOImprovement(t *testing.T) {
+	p, err := ProjectTable3(DefaultCloudDC(), Table3Gains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OverallEE != 36 {
+		t.Fatalf("overall EE = %v", p.OverallEE)
+	}
+	if p.TCOImprovement < 1.12 || p.TCOImprovement > 1.18 {
+		t.Fatalf("TCO improvement = %.3fx, paper estimates 1.15x", p.TCOImprovement)
+	}
+	if !strings.Contains(p.String(), "36.0x") {
+		t.Fatalf("projection rendering: %s", p)
+	}
+	// Sanity: the energy share that makes 1.15x possible is ~13-14%.
+	share := DefaultCloudDC().EnergyShare()
+	if share < 0.12 || share > 0.16 {
+		t.Fatalf("energy share = %.3f, calibration drifted", share)
+	}
+}
+
+func TestProjectValidation(t *testing.T) {
+	bad := DefaultCloudDC()
+	bad.Servers = 0
+	if _, err := ProjectTable3(bad, Table3Gains()); err == nil {
+		t.Fatal("invalid DC accepted")
+	}
+	if _, err := ProjectTable3(DefaultCloudDC(), GainSources{}); err == nil {
+		t.Fatal("invalid gains accepted")
+	}
+}
+
+func TestApplyEnergyEfficiency(t *testing.T) {
+	d := DefaultCloudDC()
+	improved, err := d.ApplyEnergyEfficiency(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.ServerAvgPowerW != d.ServerAvgPowerW/2 {
+		t.Fatal("power not halved")
+	}
+	if improved.CapExUSD() != d.CapExUSD() {
+		t.Fatal("EE must not change CapEx")
+	}
+	if _, err := d.ApplyEnergyEfficiency(0); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+}
+
+func TestYieldDiscountCompoundsImprovement(t *testing.T) {
+	base := DefaultCloudDC()
+	eeOnly, err := base.ApplyEnergyEfficiency(36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withYield, err := eeOnly.ApplyYieldDiscount(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "The actual TCO improvement will be even more because of
+	// lower chip cost due to higher yield."
+	if Improvement(base, withYield) <= Improvement(base, eeOnly) {
+		t.Fatal("yield discount did not compound the improvement")
+	}
+	if _, err := base.ApplyYieldDiscount(1); err == nil {
+		t.Fatal("100% discount accepted")
+	}
+	if _, err := base.ApplyYieldDiscount(-0.1); err == nil {
+		t.Fatal("negative discount accepted")
+	}
+}
+
+func TestEdgeDCCheaperPerServer(t *testing.T) {
+	edge := DefaultEdgeDC()
+	cloud := DefaultCloudDC()
+	edgePer := edge.TCOUSD() / float64(edge.Servers)
+	cloudPer := cloud.TCOUSD() / float64(cloud.Servers)
+	if edgePer >= cloudPer {
+		t.Fatalf("edge per-server TCO %v should undercut cloud %v", edgePer, cloudPer)
+	}
+	if edge.PUE >= cloud.PUE {
+		t.Fatal("edge should avoid cooling overhead")
+	}
+}
+
+func TestImprovementMonotoneInEEProperty(t *testing.T) {
+	base := DefaultCloudDC()
+	err := quick.Check(func(raw uint8) bool {
+		f1 := 1 + float64(raw%50)
+		f2 := f1 + 1
+		a, err1 := base.ApplyEnergyEfficiency(f1)
+		b, err2 := base.ApplyEnergyEfficiency(f2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return Improvement(base, b) >= Improvement(base, a)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImprovementBoundedByEnergyShare(t *testing.T) {
+	// TCO improvement from EE alone can never exceed 1/(1-energyShare).
+	base := DefaultCloudDC()
+	bound := 1 / (1 - base.EnergyShare())
+	improved, err := base.ApplyEnergyEfficiency(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Improvement(base, improved); got > bound+1e-9 {
+		t.Fatalf("improvement %v exceeds theoretical bound %v", got, bound)
+	}
+}

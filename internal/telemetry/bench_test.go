@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"uniserver/internal/vfr"
+)
+
+func BenchmarkMarshalLine(b *testing.B) {
+	v := InfoVector{
+		Time:      time.Unix(1e9, 0),
+		Component: "core0",
+		Point:     vfr.Point{VoltageMV: 790, FreqMHz: 2600},
+		Sensors: []Reading{
+			{Kind: SensorVoltage, Value: 790},
+			{Kind: SensorTemperature, Value: 61.5},
+			{Kind: SensorPower, Value: 7.2},
+		},
+		Counters: PerfCounters{Instructions: 1e9, Cycles: 5e8, CacheMisses: 1e6},
+		Errors:   []ErrorEvent{{Kind: ErrCorrectable, Component: "core0/L2", Count: 3}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.MarshalLine(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalLine(b *testing.B) {
+	v := InfoVector{Time: time.Unix(1e9, 0), Component: "core0",
+		Point: vfr.Point{VoltageMV: 790, FreqMHz: 2600}}
+	line, err := v.MarshalLine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	line = line[:len(line)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package thermal models die and DIMM temperature with a first-order
+// RC network: temperature relaxes toward ambient plus the product of
+// dissipated power and thermal resistance. Temperature matters twice
+// in the UniServer stack — leakage power rises exponentially with die
+// temperature (power package) and DRAM retention halves roughly every
+// 10°C (dram package) — so the operating conditions the paper's EOP
+// must adapt to ("variations of environmental conditions") are a
+// first-class simulated quantity.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Node is one first-order thermal node.
+type Node struct {
+	// Name identifies the node (e.g. "cpu", "dimm0").
+	Name string
+	// AmbientC is the environment temperature the node relaxes toward.
+	AmbientC float64
+	// ResistanceCPerW converts dissipated watts into steady-state
+	// degrees above ambient.
+	ResistanceCPerW float64
+	// TimeConstant is the RC time constant of the node.
+	TimeConstant time.Duration
+	// TempC is the current temperature.
+	TempC float64
+}
+
+// NewNode returns a node settled at ambient.
+func NewNode(name string, ambientC, resistanceCPerW float64, tau time.Duration) (*Node, error) {
+	if resistanceCPerW <= 0 {
+		return nil, errors.New("thermal: resistance must be positive")
+	}
+	if tau <= 0 {
+		return nil, errors.New("thermal: time constant must be positive")
+	}
+	return &Node{
+		Name:            name,
+		AmbientC:        ambientC,
+		ResistanceCPerW: resistanceCPerW,
+		TimeConstant:    tau,
+		TempC:           ambientC,
+	}, nil
+}
+
+// SteadyStateC returns the temperature the node converges to while
+// dissipating the given power.
+func (n *Node) SteadyStateC(powerW float64) float64 {
+	return n.AmbientC + powerW*n.ResistanceCPerW
+}
+
+// Step advances the node by dt while dissipating powerW, using the
+// exact exponential solution of the first-order ODE (stable for any
+// step size).
+func (n *Node) Step(powerW float64, dt time.Duration) float64 {
+	if dt <= 0 {
+		return n.TempC
+	}
+	target := n.SteadyStateC(powerW)
+	alpha := 1 - math.Exp(-float64(dt)/float64(n.TimeConstant))
+	n.TempC += (target - n.TempC) * alpha
+	return n.TempC
+}
+
+// CPUNode returns a node shaped like a micro-server SoC: ~0.8 °C/W
+// with a ~20 s time constant in an air-conditioned room.
+func CPUNode(ambientC float64) *Node {
+	n, err := NewNode("cpu", ambientC, 0.8, 20*time.Second)
+	if err != nil {
+		panic(fmt.Sprintf("thermal: CPUNode construction: %v", err))
+	}
+	return n
+}
+
+// DIMMNode returns a node shaped like a DDR3 DIMM: slower and cooler
+// than the SoC (~1.5 °C/W, ~90 s).
+func DIMMNode(ambientC float64) *Node {
+	n, err := NewNode("dimm", ambientC, 1.5, 90*time.Second)
+	if err != nil {
+		panic(fmt.Sprintf("thermal: DIMMNode construction: %v", err))
+	}
+	return n
+}
+
+// Trip is a thermal protection threshold.
+type Trip struct {
+	// WarnC raises a telemetry event; TripC forces a fallback to
+	// nominal (thermal excursions shrink voltage margins).
+	WarnC, TripC float64
+}
+
+// DefaultTrip returns server-class thresholds.
+func DefaultTrip() Trip { return Trip{WarnC: 85, TripC: 95} }
+
+// Check classifies a temperature against the trip thresholds:
+// 0 = normal, 1 = warning, 2 = trip.
+func (t Trip) Check(tempC float64) int {
+	switch {
+	case tempC >= t.TripC:
+		return 2
+	case tempC >= t.WarnC:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,37 @@
+package vfr_test
+
+import (
+	"fmt"
+
+	"uniserver/internal/vfr"
+)
+
+// Table 1 of the paper: the conservative voltage guardbands that the
+// EOP machinery recovers.
+func ExampleTable1Guardbands() {
+	for _, g := range vfr.Table1Guardbands() {
+		fmt.Printf("%s: ~%.0f%%\n", g.Source, g.Pct)
+	}
+	fmt.Printf("total: %.0f%%\n", vfr.TotalGuardbandPct(vfr.Table1Guardbands()))
+	// Output:
+	// voltage droops: ~20%
+	// Vmin: ~15%
+	// core-to-core variations: ~5%
+	// total: 40%
+}
+
+// An EOP table maps characterized components to their safe points; the
+// worst case over all components is the system-wide safe point.
+func ExampleEOPTable_WorstCase() {
+	t := vfr.NewEOPTable()
+	t.Set(vfr.Margin{Component: "core0",
+		Nominal: vfr.Point{VoltageMV: 844, FreqMHz: 2600},
+		Safe:    vfr.Point{VoltageMV: 775, FreqMHz: 2600}})
+	t.Set(vfr.Margin{Component: "core1",
+		Nominal: vfr.Point{VoltageMV: 844, FreqMHz: 2600},
+		Safe:    vfr.Point{VoltageMV: 781, FreqMHz: 2600}})
+	worst, _ := t.WorstCase()
+	fmt.Println(worst)
+	// Output:
+	// 0.781V@2600MHz
+}

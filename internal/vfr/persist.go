@@ -1,0 +1,92 @@
+package vfr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// marginJSON is the wire form of a Margin.
+type marginJSON struct {
+	Component   string        `json:"component"`
+	Nominal     pointJSON     `json:"nominal"`
+	CrashPoint  pointJSON     `json:"crash_point"`
+	Safe        pointJSON     `json:"safe"`
+	CushionMV   int           `json:"cushion_mv"`
+	CushionTime time.Duration `json:"cushion_time_ns"`
+}
+
+// pointJSON is the wire form of a Point.
+type pointJSON struct {
+	VoltageMV int           `json:"voltage_mv"`
+	FreqMHz   int           `json:"freq_mhz"`
+	Refresh   time.Duration `json:"refresh_ns"`
+}
+
+func toPointJSON(p Point) pointJSON {
+	return pointJSON{VoltageMV: p.VoltageMV, FreqMHz: p.FreqMHz, Refresh: p.Refresh}
+}
+
+func fromPointJSON(p pointJSON) Point {
+	return Point{VoltageMV: p.VoltageMV, FreqMHz: p.FreqMHz, Refresh: p.Refresh}
+}
+
+// tableJSON is the wire form of an EOPTable.
+type tableJSON struct {
+	Version int          `json:"version"`
+	Margins []marginJSON `json:"margins"`
+}
+
+// persistVersion guards against future format changes.
+const persistVersion = 1
+
+// Save writes the table as JSON, the format the StressLog persists its
+// published margin vectors in between campaigns (margins survive node
+// reboots; the paper's daemons write their outputs to system files).
+func (t *EOPTable) Save(w io.Writer) error {
+	out := tableJSON{Version: persistVersion}
+	for _, name := range t.Components() {
+		m := t.margins[name]
+		out.Margins = append(out.Margins, marginJSON{
+			Component:   m.Component,
+			Nominal:     toPointJSON(m.Nominal),
+			CrashPoint:  toPointJSON(m.CrashPoint),
+			Safe:        toPointJSON(m.Safe),
+			CushionMV:   m.CushionMV,
+			CushionTime: m.CushionTime,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("vfr: saving EOP table: %w", err)
+	}
+	return nil
+}
+
+// Load reads a table previously written by Save.
+func Load(r io.Reader) (*EOPTable, error) {
+	var in tableJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("vfr: loading EOP table: %w", err)
+	}
+	if in.Version != persistVersion {
+		return nil, fmt.Errorf("vfr: unsupported EOP table version %d", in.Version)
+	}
+	t := NewEOPTable()
+	for _, m := range in.Margins {
+		if m.Component == "" {
+			return nil, fmt.Errorf("vfr: margin with empty component name")
+		}
+		t.Set(Margin{
+			Component:   m.Component,
+			Nominal:     fromPointJSON(m.Nominal),
+			CrashPoint:  fromPointJSON(m.CrashPoint),
+			Safe:        fromPointJSON(m.Safe),
+			CushionMV:   m.CushionMV,
+			CushionTime: m.CushionTime,
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,99 @@
+package vfr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTable() *EOPTable {
+	t := NewEOPTable()
+	t.Set(Margin{
+		Component:  "part/core0",
+		Nominal:    Point{VoltageMV: 844, FreqMHz: 2600},
+		CrashPoint: Point{VoltageMV: 756, FreqMHz: 2600},
+		Safe:       Point{VoltageMV: 781, FreqMHz: 2600},
+		CushionMV:  25,
+	})
+	t.Set(Margin{
+		Component:   "dram/relaxed",
+		Nominal:     Point{VoltageMV: 1, FreqMHz: 1, Refresh: 64 * time.Millisecond},
+		CrashPoint:  Point{VoltageMV: 1, FreqMHz: 1, Refresh: 3 * time.Second},
+		Safe:        Point{VoltageMV: 1, FreqMHz: 1, Refresh: 1500 * time.Millisecond},
+		CushionTime: 1500 * time.Millisecond,
+	})
+	return t
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := sampleTable()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), orig.Len())
+	}
+	for _, name := range orig.Components() {
+		a, _ := orig.Lookup(name)
+		b, err := got.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("margin %s mismatched:\n%+v\n%+v", name, a, b)
+		}
+	}
+}
+
+func TestSaveIsHumanReadableJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "\"component\": \"part/core0\"") {
+		t.Fatalf("unexpected serialization:\n%s", s)
+	}
+	if !strings.Contains(s, "\"version\": 1") {
+		t.Fatal("missing version")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"version":99,"margins":[]}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestLoadRejectsEmptyComponent(t *testing.T) {
+	doc := `{"version":1,"margins":[{"component":""}]}`
+	if _, err := Load(strings.NewReader(doc)); err == nil {
+		t.Fatal("empty component accepted")
+	}
+}
+
+func TestSaveEmptyTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewEOPTable().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatal("empty table round trip gained margins")
+	}
+}

@@ -1,0 +1,205 @@
+// Package workload models the applications the paper evaluates with:
+// the LDBC Social Network Benchmark running on a graph database inside
+// VMs (the Figure 3 memory-footprint experiment: "four instances of
+// VMs, each of which accommodates a graph database benchmark ... This
+// application stresses the CPU, disk I/O and network"), an IoT edge
+// analytics service for the Section 6.D edge scenario, and generic VM
+// arrival streams for the resource-management experiments.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"uniserver/internal/rng"
+)
+
+// Profile describes the steady behaviour of one application.
+type Profile struct {
+	Name string
+	// CPUActivity is the average switching-activity factor in [0,1].
+	CPUActivity float64
+	// DroopIntensity positions the workload's di/dt behaviour in [0,1].
+	DroopIntensity float64
+	// MemTargetBytes is the steady-state working set.
+	MemTargetBytes uint64
+	// RampWindows is how many observation windows the working set
+	// takes to reach its target from zero.
+	RampWindows int
+	// DiskIOPS and NetMbps characterize the I/O pressure (used by the
+	// scheduler's interference model and the footprint experiment's
+	// "stresses the CPU, disk I/O and network" claim).
+	DiskIOPS float64
+	NetMbps  float64
+}
+
+// MemAtWindow returns the working set at observation window w: a
+// linear ramp to the target followed by a small deterministic sawtooth
+// (±4%) that mimics query-driven churn.
+func (p Profile) MemAtWindow(w int) uint64 {
+	if w < 0 {
+		return 0
+	}
+	if p.RampWindows > 0 && w < p.RampWindows {
+		return p.MemTargetBytes * uint64(w+1) / uint64(p.RampWindows)
+	}
+	// Sawtooth over 8 windows: -4%..+4% of target.
+	phase := w % 8
+	delta := int64(p.MemTargetBytes / 25) // 4%
+	offset := delta * int64(phase-4) / 4
+	v := int64(p.MemTargetBytes) + offset
+	if v < 0 {
+		v = 0
+	}
+	return uint64(v)
+}
+
+// LDBCSocialNetwork returns the LDBC SNB interactive workload profile
+// on a Sparksee-style graph database: a few-GB working set that ramps
+// as the graph loads, with heavy disk and network activity.
+func LDBCSocialNetwork() Profile {
+	return Profile{
+		Name:           "ldbc-snb-interactive",
+		CPUActivity:    0.72,
+		DroopIntensity: 0.55,
+		MemTargetBytes: 3576 << 20, // ~3.5 GiB per VM instance
+		RampWindows:    12,
+		DiskIOPS:       2400,
+		NetMbps:        320,
+	}
+}
+
+// IoTEdgeAnalytics returns the latency-sensitive edge service of
+// Section 6.D: a modest working set with strict end-to-end deadlines.
+func IoTEdgeAnalytics() Profile {
+	return Profile{
+		Name:           "iot-edge-analytics",
+		CPUActivity:    0.45,
+		DroopIntensity: 0.30,
+		MemTargetBytes: 512 << 20,
+		RampWindows:    4,
+		DiskIOPS:       150,
+		NetMbps:        90,
+	}
+}
+
+// WebFrontend returns a bursty user-facing service used to populate
+// heterogeneous clusters in the scheduling experiments.
+func WebFrontend() Profile {
+	return Profile{
+		Name:           "web-frontend",
+		CPUActivity:    0.38,
+		DroopIntensity: 0.42,
+		MemTargetBytes: 1024 << 20,
+		RampWindows:    2,
+		DiskIOPS:       400,
+		NetMbps:        210,
+	}
+}
+
+// BatchAnalytics returns a throughput-oriented batch job that
+// tolerates relaxed reliability (a natural tenant for deep EOP).
+func BatchAnalytics() Profile {
+	return Profile{
+		Name:           "batch-analytics",
+		CPUActivity:    0.88,
+		DroopIntensity: 0.65,
+		MemTargetBytes: 6 << 30,
+		RampWindows:    6,
+		DiskIOPS:       900,
+		NetMbps:        80,
+	}
+}
+
+// Profiles returns the built-in profile catalogue.
+func Profiles() []Profile {
+	return []Profile{LDBCSocialNetwork(), IoTEdgeAnalytics(), WebFrontend(), BatchAnalytics()}
+}
+
+// VMSpec sizes a virtual machine and binds it to a workload profile.
+type VMSpec struct {
+	Name     string
+	VCPUs    int
+	MemBytes uint64
+	Profile  Profile
+}
+
+// Validate reports configuration errors.
+func (s VMSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: VM spec missing name")
+	}
+	if s.VCPUs <= 0 {
+		return fmt.Errorf("workload: VM %q has %d vCPUs", s.Name, s.VCPUs)
+	}
+	if s.MemBytes == 0 {
+		return fmt.Errorf("workload: VM %q has zero memory", s.Name)
+	}
+	if s.MemBytes < s.Profile.MemTargetBytes {
+		return fmt.Errorf("workload: VM %q memory %d below profile working set %d",
+			s.Name, s.MemBytes, s.Profile.MemTargetBytes)
+	}
+	return nil
+}
+
+// Arrival is one VM arrival in a stream.
+type Arrival struct {
+	At       time.Duration // offset from stream start
+	Spec     VMSpec
+	Lifetime time.Duration
+}
+
+// StreamConfig shapes a VM arrival stream.
+type StreamConfig struct {
+	N            int
+	MeanGap      time.Duration // mean inter-arrival gap (exponential)
+	MeanLifetime time.Duration // mean VM lifetime (exponential)
+	MinLifetime  time.Duration
+}
+
+// DefaultStreamConfig returns a stream of 50 VMs arriving every ~5
+// minutes with hour-scale lifetimes.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		N:            50,
+		MeanGap:      5 * time.Minute,
+		MeanLifetime: 2 * time.Hour,
+		MinLifetime:  10 * time.Minute,
+	}
+}
+
+// Stream generates a deterministic arrival stream: VM specs cycle
+// through the profile catalogue with exponential inter-arrival gaps
+// and lifetimes ("real-world scenarios where OpenStack would manage
+// streams of incoming and terminating VMs").
+func Stream(cfg StreamConfig, src *rng.Source) ([]Arrival, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("workload: stream N must be positive")
+	}
+	if cfg.MeanGap <= 0 || cfg.MeanLifetime <= 0 {
+		return nil, fmt.Errorf("workload: stream gaps and lifetimes must be positive")
+	}
+	profiles := Profiles()
+	arrivals := make([]Arrival, 0, cfg.N)
+	at := time.Duration(0)
+	for i := 0; i < cfg.N; i++ {
+		p := profiles[i%len(profiles)]
+		life := time.Duration(src.Exponential(1) * float64(cfg.MeanLifetime))
+		if life < cfg.MinLifetime {
+			life = cfg.MinLifetime
+		}
+		mem := p.MemTargetBytes + p.MemTargetBytes/4 // 25% headroom
+		arrivals = append(arrivals, Arrival{
+			At: at,
+			Spec: VMSpec{
+				Name:     fmt.Sprintf("vm-%03d-%s", i, p.Name),
+				VCPUs:    1 + i%4,
+				MemBytes: mem,
+				Profile:  p,
+			},
+			Lifetime: life,
+		})
+		at += time.Duration(src.Exponential(1) * float64(cfg.MeanGap))
+	}
+	return arrivals, nil
+}
