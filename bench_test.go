@@ -20,6 +20,7 @@ import (
 	"uniserver/internal/dram"
 	"uniserver/internal/edge"
 	"uniserver/internal/faultinject"
+	"uniserver/internal/fleet"
 	"uniserver/internal/hypervisor"
 	"uniserver/internal/openstack"
 	"uniserver/internal/power"
@@ -452,6 +453,47 @@ func BenchmarkClosedLoopDeployment(b *testing.B) {
 	b.ReportMetric(sum.EnergySavedWh, "energy_saved_wh")
 	b.Logf("closed loop: %d/%d windows at EOP, %d crashes, %.1f Wh saved, aging +%.1f mV",
 		sum.WindowsAtEOP, sum.Windows, sum.Crashes, sum.EnergySavedWh, sum.FinalAgeShiftMV)
+}
+
+// BenchmarkFleetRuntime measures the concurrent multi-node engine:
+// one iteration is a full fleet lifecycle (parallel pre-deployment
+// characterization of every node, then barrier-synchronized runtime
+// epochs feeding the reliability-aware scheduler). The sub-benchmarks
+// vary only the worker count; the fleet summary is byte-identical
+// across them (asserted once per run), so comparing their ns/op is a
+// pure wall-clock speedup measurement. On a machine with 4+ cores the
+// workers=4 variant should run >2x faster than workers=1.
+func BenchmarkFleetRuntime(b *testing.B) {
+	config := func(workers int) fleet.Config {
+		cfg := fleet.DefaultConfig(8)
+		cfg.Workers = workers
+		cfg.Windows = 60
+		cfg.Seed = 1
+		return cfg
+	}
+	baseline, err := fleet.Run(config(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var sum fleet.Summary
+			for i := 0; i < b.N; i++ {
+				var err error
+				sum, err = fleet.Run(config(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if sum.Fingerprint() != baseline.Fingerprint() {
+				b.Fatalf("summary at %d workers diverged from the 1-worker baseline", workers)
+			}
+			b.ReportMetric(float64(sum.WindowsAtEOP), "windows_at_eop")
+			b.ReportMetric(sum.EnergySavedWh, "energy_saved_wh")
+			b.ReportMetric(float64(sum.Migrations), "migrations")
+			b.ReportMetric(float64(sum.Crashes), "node_crashes")
+		})
+	}
 }
 
 func runEcosystemOnce(seed uint64) error {

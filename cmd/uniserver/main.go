@@ -1,8 +1,13 @@
-// Command uniserver runs the full cross-layer ecosystem of Figure 2 on
-// one simulated node: pre-deployment characterization (StressLog with
-// GA viruses, fault injection with selective protection, Predictor
-// training), then deployment at the advised extended operating point,
-// then a monitored runtime with error masking.
+// Command uniserver runs the full cross-layer ecosystem of Figure 2.
+// With -nodes 1 (the default) it narrates one simulated node:
+// pre-deployment characterization (StressLog with GA viruses, fault
+// injection with selective protection, Predictor training), then
+// deployment at the advised extended operating point, then a monitored
+// runtime with error masking. With -nodes N it drives the concurrent
+// fleet engine: N nodes characterize and step in parallel across
+// -workers goroutines, feeding per-epoch health into the
+// reliability-aware cloud scheduler, with a deterministic aggregate
+// summary (same seed, same summary, at any worker count).
 package main
 
 import (
@@ -10,9 +15,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"uniserver/internal/core"
 	"uniserver/internal/dram"
+	"uniserver/internal/fleet"
 	"uniserver/internal/vfr"
 	"uniserver/internal/workload"
 )
@@ -20,7 +28,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("uniserver: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	seed := flag.Uint64("seed", 1, "simulation seed (same seed, same outcomes)")
 	mode := flag.String("mode", "high-performance", "operating mode: nominal | high-performance | low-power")
 	risk := flag.Float64("risk", 0.01, "per-window failure-probability target")
@@ -28,6 +41,10 @@ func main() {
 	logfile := flag.String("healthlog", "", "write the HealthLog JSON-lines file here")
 	closedLoop := flag.Bool("closed-loop", false,
 		"run the supervised deployment loop (crash fallback, aging, auto re-characterization)")
+	nodes := flag.Int("nodes", 1, "fleet size; >1 runs the concurrent multi-node engine")
+	workers := flag.Int("workers", 0, "worker goroutines for the fleet engine (0 = GOMAXPROCS)")
+	compare := flag.Bool("compare", false,
+		"fleet mode: also run a 1-worker reference pass, verify the summaries are identical, and report the measured speedup")
 	flag.Parse()
 
 	var m vfr.Mode
@@ -39,33 +56,143 @@ func main() {
 	case "low-power":
 		m = vfr.ModeLowPower
 	default:
-		log.Fatalf("unknown mode %q", *mode)
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	// Reject meaningless flag combinations before touching the
+	// filesystem: os.Create truncates, and a usage error must not cost
+	// the user an existing health log.
+	if *nodes > 1 && *closedLoop {
+		return fmt.Errorf("-closed-loop only applies to -nodes 1; the fleet engine always runs the supervised loop")
+	}
+	if *nodes <= 1 && *compare {
+		return fmt.Errorf("-compare only applies to fleet mode (-nodes > 1)")
+	}
+	if *nodes <= 1 && *workers != 0 {
+		return fmt.Errorf("-workers only applies to fleet mode (-nodes > 1); the single-node loop is sequential")
 	}
 
-	opts := core.DefaultOptions()
-	opts.Seed = *seed
-	opts.Mem = dram.Config{Channels: 4, DIMMsPerChannel: 1, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45}
+	// The health log must be closed (flushing the JSON lines) on every
+	// exit path, including errors — hence the run()/error shape instead
+	// of log.Fatal, which would skip deferred closes.
+	var healthOut *os.File
 	if *logfile != "" {
 		f, err := os.Create(*logfile)
 		if err != nil {
-			log.Fatalf("healthlog file: %v", err)
+			return fmt.Errorf("healthlog file: %v", err)
 		}
-		defer f.Close()
-		opts.HealthLogOut = f
+		healthOut = f
+		defer func() {
+			if healthOut != nil {
+				healthOut.Close()
+			}
+		}()
+	}
+	closeHealthLog := func() error {
+		if healthOut == nil {
+			return nil
+		}
+		err := healthOut.Close()
+		healthOut = nil
+		if err != nil {
+			return fmt.Errorf("closing healthlog: %w", err)
+		}
+		return nil
+	}
+
+	if *nodes > 1 {
+		if err := runFleet(*nodes, *workers, *seed, m, *risk, *windows, *compare, healthOut); err != nil {
+			return err
+		}
+		return closeHealthLog()
+	}
+	if err := runSingleNode(*seed, m, *risk, *windows, *closedLoop, healthOut); err != nil {
+		return err
+	}
+	return closeHealthLog()
+}
+
+// runFleet drives the concurrent multi-node engine and prints the
+// aggregate fleet summary.
+func runFleet(nodes, workers int, seed uint64, m vfr.Mode, risk float64, windows int, compare bool, healthOut *os.File) error {
+	cfg := fleet.DefaultConfig(nodes)
+	cfg.Workers = workers
+	cfg.Seed = seed
+	cfg.Mode = m
+	cfg.RiskTarget = risk
+	cfg.Windows = windows
+	if healthOut != nil {
+		cfg.HealthLogOut = healthOut
+	}
+
+	fmt.Printf("== UniServer fleet: %d nodes, %d workers (GOMAXPROCS %d), seed %d ==\n",
+		nodes, fleet.EffectiveWorkers(workers, nodes), runtime.GOMAXPROCS(0), seed)
+	fmt.Printf("\n[1/2] parallel pre-deployment characterization + %d runtime epochs\n", windows)
+
+	sum, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	var ref fleet.Summary
+	if compare {
+		refCfg := cfg
+		refCfg.Workers = 1
+		refCfg.HealthLogOut = nil // already written by the parallel pass
+		fmt.Println("      running the 1-worker reference pass for comparison")
+		ref, err = fleet.Run(refCfg)
+		if err != nil {
+			return fmt.Errorf("reference pass: %w", err)
+		}
+		if ref.Fingerprint() != sum.Fingerprint() {
+			return fmt.Errorf("determinism violated: %d-worker summary differs from the 1-worker reference\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				sum.Workers, ref.Fingerprint(), sum.Workers, sum.Fingerprint())
+		}
+	}
+
+	fmt.Println("\n[2/2] fleet summary (deterministic: same seed, same numbers, any worker count)")
+	fmt.Printf("  windows at EOP:           %d of %d node-windows\n", sum.WindowsAtEOP, sum.Nodes*sum.Windows)
+	fmt.Printf("  node crashes (recovered): %d (%d re-characterizations)\n", sum.Crashes, sum.Recharacterized)
+	fmt.Printf("  correctable masked:       %d\n", sum.CorrectableMasked)
+	fmt.Printf("  node energy saved:        %.2f Wh\n", sum.EnergySavedWh)
+	fmt.Printf("  VMs scheduled/rejected:   %d / %d\n", sum.Scheduled, sum.Rejected)
+	fmt.Printf("  proactive migrations:     %d\n", sum.Migrations)
+	fmt.Printf("  SLA violations:           %d (%d user-facing)\n", sum.SLAViolations, sum.UserFacingViolations)
+	fmt.Printf("  fleet energy:             %.3f kWh, mean availability %.4f\n", sum.EnergyKWh, sum.MeanAvailability)
+	fmt.Printf("  wall-clock:               %v at %d workers\n", sum.WallClock.Round(time.Millisecond), sum.Workers)
+	if compare {
+		fmt.Printf("  1-worker reference:       %v — summaries byte-identical, measured speedup %.2fx\n",
+			ref.WallClock.Round(time.Millisecond),
+			ref.WallClock.Seconds()/sum.WallClock.Seconds())
+	}
+	for _, n := range sum.PerNode {
+		fmt.Printf("    %-14s crashes %2d  eop %3d/%d  saved %7.2f Wh  safe %d mV\n",
+			n.Name, n.Crashes, n.WindowsAtEOP, sum.Windows, n.EnergySavedWh, n.FinalSafeVoltageMV)
+	}
+	fmt.Println("\ndone: fleet ran at extended operating points with reliability-aware scheduling")
+	return nil
+}
+
+// runSingleNode is the original one-node narration.
+func runSingleNode(seed uint64, m vfr.Mode, risk float64, windows int, closedLoop bool, healthOut *os.File) error {
+	opts := core.DefaultOptions()
+	opts.Seed = seed
+	opts.Mem = dram.Config{Channels: 4, DIMMsPerChannel: 1, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45}
+	if healthOut != nil {
+		opts.HealthLogOut = healthOut
 	}
 
 	eco, err := core.New(opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Printf("== UniServer node (%s, %d cores, seed %d) ==\n",
-		eco.Machine.Spec.Model, eco.Machine.Spec.Cores, *seed)
+		eco.Machine.Spec.Model, eco.Machine.Spec.Cores, seed)
 
 	fmt.Println("\n[1/3] pre-deployment characterization")
 	rep, err := eco.PreDeployment()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("  stress sweeps run:        %d (ECC events observed: %d)\n",
 		rep.Margins.SweepsRun, rep.Margins.ECCEvents)
@@ -85,11 +212,11 @@ func main() {
 		rep.PredictorAcc*100, rep.PredictorSamples)
 
 	wl := workload.WebFrontend()
-	if *closedLoop {
-		fmt.Printf("\n[2/3] supervised closed-loop deployment: %s mode, %d windows\n", m, *windows)
-		sum, err := eco.RunDeployment(m, *risk, wl, *windows)
+	if closedLoop {
+		fmt.Printf("\n[2/3] supervised closed-loop deployment: %s mode, %d windows\n", m, windows)
+		sum, err := eco.RunDeployment(m, risk, wl, windows)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("  windows at EOP / nominal:  %d / %d\n", sum.WindowsAtEOP, sum.WindowsAtNominal)
 		fmt.Printf("  crashes (all recovered):   %d\n", sum.Crashes)
@@ -98,13 +225,13 @@ func main() {
 		fmt.Printf("  aging drift:               +%.1f mV (final safe point %d mV)\n",
 			sum.FinalAgeShiftMV, sum.FinalSafeVoltageMV)
 		fmt.Println("\n[3/3] done: closed loop kept the node at extended operating points")
-		return
+		return nil
 	}
 
-	fmt.Printf("\n[2/3] entering %s mode (risk target %.3g)\n", m, *risk)
-	point, err := eco.EnterMode(m, *risk, wl)
+	fmt.Printf("\n[2/3] entering %s mode (risk target %.3g)\n", m, risk)
+	point, err := eco.EnterMode(m, risk, wl)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pw := eco.Power(wl.CPUActivity)
 	fmt.Printf("  operating point:          %s\n", point)
@@ -112,9 +239,9 @@ func main() {
 		pw.CurrentW, pw.NominalW, pw.SavingsPct)
 	fmt.Printf("  DRAM refresh power saved: %.1f%%\n", pw.RefreshSavingsPct)
 
-	fmt.Printf("\n[3/3] runtime: %d observation windows of %s\n", *windows, wl.Name)
+	fmt.Printf("\n[3/3] runtime: %d observation windows of %s\n", windows, wl.Name)
 	crashes, correctable, dramHits := 0, 0, 0
-	for i := 0; i < *windows; i++ {
+	for i := 0; i < windows; i++ {
 		wrep := eco.RuntimeWindow(wl)
 		if wrep.Crashed {
 			crashes++
@@ -132,4 +259,5 @@ func main() {
 		stats.ErrorsMasked, stats.CoresIsolated)
 	fmt.Printf("  pending stress requests:  %d\n", len(eco.Stress.Pending()))
 	fmt.Println("\ndone: node ran at extended operating points with non-disruptive operation")
+	return nil
 }

@@ -4,9 +4,10 @@
 // et al., Horizon 2020 grant 688540): per-component Extended Operating
 // Point discovery, HealthLog/StressLog/Predictor monitoring daemons,
 // an error-resilient hypervisor with criticality-driven selective
-// protection, a reliability-aware cloud resource manager, and the
-// supporting silicon-variation, cache-ECC and DRAM-retention
-// simulators.
+// protection, a reliability-aware cloud resource manager, a
+// deterministic concurrent fleet runtime that characterizes and steps
+// many nodes in parallel (internal/fleet), and the supporting
+// silicon-variation, cache-ECC and DRAM-retention simulators.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-versus-measured record, and bench_test.go for the harness that

@@ -1,0 +1,3 @@
+module uniserver
+
+go 1.24

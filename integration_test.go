@@ -11,6 +11,7 @@ import (
 	"uniserver/internal/cpu"
 	"uniserver/internal/dram"
 	"uniserver/internal/ecc"
+	"uniserver/internal/fleet"
 	"uniserver/internal/rng"
 	"uniserver/internal/security"
 	"uniserver/internal/stress"
@@ -156,6 +157,47 @@ func TestIntegrationYearOfService(t *testing.T) {
 	// HealthLog saw the whole deployment.
 	if e.Health.Stats().Recorded < uint64(sum.Windows) {
 		t.Fatalf("health log recorded %d < %d windows", e.Health.Stats().Recorded, sum.Windows)
+	}
+}
+
+// TestIntegrationFleetNodeEqualsStandaloneNode pins the fleet engine's
+// core invariant across layers: a node inside a concurrently stepped
+// fleet runs the exact same closed-loop deployment as a standalone
+// ecosystem built from the same derived seed. Parallelism must be pure
+// orchestration — zero semantic drift from the single-node paper
+// reproduction.
+func TestIntegrationFleetNodeEqualsStandaloneNode(t *testing.T) {
+	cfg := fleet.DefaultConfig(2)
+	cfg.Seed = 77
+	cfg.Windows = 30
+	cfg.Workers = 2
+	sum, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range sum.PerNode {
+		opts := core.DefaultOptions()
+		opts.Seed = fleet.NodeSeed(cfg.Seed, i)
+		opts.Mem = cfg.Mem
+		eco, err := core.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eco.PreDeployment(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := eco.RunDeployment(cfg.Mode, cfg.RiskTarget, cfg.Workload, cfg.Windows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Crashes != want.Crashes ||
+			got.Recharacterized != want.Recharacterized ||
+			got.WindowsAtEOP != want.WindowsAtEOP ||
+			got.CorrectableMasked != want.CorrectableMasked ||
+			got.EnergySavedWh != want.EnergySavedWh ||
+			got.FinalSafeVoltageMV != want.FinalSafeVoltageMV {
+			t.Fatalf("fleet node %d diverged from standalone run:\nfleet:      %+v\nstandalone: %+v", i, got, want)
+		}
 	}
 }
 

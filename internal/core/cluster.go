@@ -14,20 +14,17 @@ import (
 // to pick each node's operating point.
 func clusterReferenceWorkload() workload.Profile { return workload.WebFrontend() }
 
-// Node exports the characterized ecosystem as a schedulable cloud
-// node: its failure probability comes from the trained Predictor at
-// the node's current operating point, and its power envelope from the
-// CPU power model — so the OpenStack layer's reliability metric is
-// grounded in the same models that drive the node-level decisions.
-func (e *Ecosystem) Node(name string, memBytes uint64) (*openstack.Node, error) {
+// PredictedFailProb returns the node's per-window crash probability at
+// its current operating point for a mid-droop workload, as the trained
+// Predictor sees it. This is the reliability input the cloud layer
+// consumes, both at node export and on every fleet epoch, so scheduling
+// decisions track the node's live health rather than a stale snapshot.
+func (e *Ecosystem) PredictedFailProb() (float64, error) {
 	if e.advisor == nil {
-		return nil, errors.New("core: run PreDeployment before exporting a node")
+		return 0, ErrNotCharacterized
 	}
 	point := e.Hypervisor.Point()
 	nominal := e.Machine.Spec.Nominal
-
-	// Per-window crash probability at the current point for a
-	// mid-droop workload, as the Predictor sees it.
 	f := predictor.Features{
 		UndervoltPct:   -point.VoltageOffsetPct(nominal.VoltageMV),
 		DroopIntensity: 0.5,
@@ -39,6 +36,20 @@ func (e *Ecosystem) Node(name string, memBytes uint64) (*openstack.Node, error) 
 	if failProb < 1e-4 {
 		failProb = 1e-4
 	}
+	return failProb, nil
+}
+
+// Node exports the characterized ecosystem as a schedulable cloud
+// node: its failure probability comes from the trained Predictor at
+// the node's current operating point, and its power envelope from the
+// CPU power model — so the OpenStack layer's reliability metric is
+// grounded in the same models that drive the node-level decisions.
+func (e *Ecosystem) Node(name string, memBytes uint64) (*openstack.Node, error) {
+	failProb, err := e.PredictedFailProb()
+	if err != nil {
+		return nil, fmt.Errorf("core: exporting node %q: %w", name, err)
+	}
+	point := e.Hypervisor.Point()
 
 	n := openstack.NewNode(name, e.Hypervisor.AvailableCores(), memBytes, failProb)
 	n.Mode = e.mode

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -59,65 +60,122 @@ type DeploymentSummary struct {
 	FinalSafeVoltageMV int
 }
 
-// RunDeployment supervises `windows` observation windows of the given
-// workload in the requested mode, implementing the full closed loop of
-// Figure 2: crashes trigger an immediate nominal fallback plus
-// re-characterization and mode re-entry; HealthLog error-threshold
-// triggers and the periodic schedule also force campaigns; the silicon
-// ages continuously so later campaigns publish drifted margins.
-func (e *Ecosystem) RunDeployment(mode vfr.Mode, riskTarget float64, wl workload.Profile, windows int) (DeploymentSummary, error) {
-	var sum DeploymentSummary
+// Deployment is a supervised closed-loop deployment in progress: the
+// reentrant form of the Figure 2 runtime loop. Each Step advances one
+// observation window; the caller owns the cadence, so a fleet engine
+// can interleave many nodes' deployments on independent goroutines and
+// barrier-synchronize them into cluster epochs. A Deployment is bound
+// to one Ecosystem and inherits its single-goroutine discipline: never
+// Step the same Deployment from two goroutines at once.
+type Deployment struct {
+	eco      *Ecosystem
+	mode     vfr.Mode
+	risk     float64
+	wl       workload.Profile
+	aging    silicon.AgingModel
+	nominalW float64
+	sum      DeploymentSummary
+}
+
+// StartDeployment enters the requested mode and returns a stepper for
+// the supervised loop. The returned Deployment has run zero windows.
+func (e *Ecosystem) StartDeployment(mode vfr.Mode, riskTarget float64, wl workload.Profile) (*Deployment, error) {
 	if _, err := e.EnterMode(mode, riskTarget, wl); err != nil {
-		return sum, err
+		return nil, err
 	}
-	aging := silicon.DefaultAgingModel()
-	nominalW := e.power.TotalW(e.Machine.Spec.Nominal, wl.CPUActivity, 55)
+	return &Deployment{
+		eco:      e,
+		mode:     mode,
+		risk:     riskTarget,
+		wl:       wl,
+		aging:    silicon.DefaultAgingModel(),
+		nominalW: e.power.TotalW(e.Machine.Spec.Nominal, wl.CPUActivity, 55),
+	}, nil
+}
 
-	for w := 0; w < windows; w++ {
-		rep := e.RuntimeWindow(wl)
-		sum.Windows++
-		sum.CorrectableMasked += rep.Correctable
-		if e.mode == vfr.ModeNominal {
-			sum.WindowsAtNominal++
-		} else {
-			sum.WindowsAtEOP++
-		}
-		// Energy ledger: each window is one simulated minute.
-		curW := e.power.TotalW(e.Hypervisor.Point(), wl.CPUActivity, 55)
-		sum.EnergySavedWh += (nominalW - curW) / 60
+// Step advances the deployment by one observation window, implementing
+// the full closed loop of Figure 2: the window runs at the current
+// point, crashes trigger an immediate nominal fallback plus
+// re-characterization and mode re-entry, HealthLog error-threshold
+// triggers and the periodic schedule also force campaigns, and the
+// silicon ages continuously so later campaigns publish drifted margins.
+// The returned report is the window's raw observation (before any
+// fallback the step performed in response to it).
+func (d *Deployment) Step() (WindowReport, error) {
+	e := d.eco
+	rep := e.RuntimeWindow(d.wl)
+	d.sum.Windows++
+	d.sum.CorrectableMasked += rep.Correctable
+	if e.mode == vfr.ModeNominal {
+		d.sum.WindowsAtNominal++
+	} else {
+		d.sum.WindowsAtEOP++
+	}
+	// Energy ledger: each window is one simulated minute.
+	curW := e.power.TotalW(e.Hypervisor.Point(), d.wl.CPUActivity, 55)
+	d.sum.EnergySavedWh += (d.nominalW - curW) / 60
 
-		// Continuous aging at the workload's stress level.
-		e.Machine.Chip.Age(aging, time.Minute, wl.CPUActivity)
+	// Continuous aging at the workload's stress level.
+	e.Machine.Chip.Age(d.aging, time.Minute, d.wl.CPUActivity)
 
-		needCampaign := false
-		if rep.Crashed {
-			sum.Crashes++
-			sum.Fallbacks++
-			if err := e.HandleCrash(); err != nil {
-				return sum, err
-			}
-			needCampaign = true
+	needCampaign := false
+	if rep.Crashed {
+		d.sum.Crashes++
+		d.sum.Fallbacks++
+		if err := e.HandleCrash(); err != nil {
+			return rep, err
 		}
-		if rep.PendingTests > 0 || e.Stress.DuePeriodic() {
-			needCampaign = true
+		needCampaign = true
+	}
+	if rep.PendingTests > 0 || e.Stress.DuePeriodic() {
+		needCampaign = true
+	}
+	if needCampaign {
+		if _, err := e.Recharacterize(); err != nil {
+			return rep, err
 		}
-		if needCampaign {
-			if _, err := e.Recharacterize(); err != nil {
-				return sum, err
-			}
-			sum.Recharacterized++
-			if _, err := e.EnterMode(mode, riskTarget, wl); err != nil {
-				return sum, err
-			}
+		d.sum.Recharacterized++
+		if _, err := e.EnterMode(d.mode, d.risk, d.wl); err != nil {
+			return rep, err
 		}
 	}
+	return rep, nil
+}
 
-	sum.FinalAgeShiftMV = e.Machine.Chip.AgeShiftMV
-	if m, err := e.worstCPUMargin(); err == nil {
+// Summary returns the deployment totals so far, with the final margin
+// and aging figures filled in from the ecosystem's current state.
+func (d *Deployment) Summary() DeploymentSummary {
+	sum := d.sum
+	sum.FinalAgeShiftMV = d.eco.Machine.Chip.AgeShiftMV
+	if m, err := d.eco.worstCPUMargin(); err == nil {
 		sum.FinalSafeVoltageMV = m.Safe.VoltageMV
 	}
-	return sum, nil
+	return sum
 }
+
+// Ecosystem returns the node the deployment is supervising.
+func (d *Deployment) Ecosystem() *Ecosystem { return d.eco }
+
+// RunDeployment supervises `windows` observation windows of the given
+// workload in the requested mode. It is the batch form of
+// StartDeployment + Step: kept for callers that do not need the
+// reentrant API.
+func (e *Ecosystem) RunDeployment(mode vfr.Mode, riskTarget float64, wl workload.Profile, windows int) (DeploymentSummary, error) {
+	d, err := e.StartDeployment(mode, riskTarget, wl)
+	if err != nil {
+		return DeploymentSummary{}, err
+	}
+	for w := 0; w < windows; w++ {
+		if _, err := d.Step(); err != nil {
+			return d.Summary(), err
+		}
+	}
+	return d.Summary(), nil
+}
+
+// ErrNotCharacterized is returned by APIs that need PreDeployment to
+// have run first.
+var ErrNotCharacterized = errors.New("core: run PreDeployment first")
 
 // worstCPUMargin returns the CPU margin with the least headroom.
 func (e *Ecosystem) worstCPUMargin() (vfr.Margin, error) {

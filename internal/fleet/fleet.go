@@ -1,0 +1,450 @@
+// Package fleet is the concurrent multi-node runtime: a deterministic,
+// worker-pool-driven engine that runs N core.Ecosystem nodes in
+// parallel — pre-deployment characterization (stress campaigns,
+// fault-injection, predictor training) fans out across workers, the
+// runtime advances in barrier-synchronized cluster epochs with
+// lock-free per-node stepping, and each epoch's node health feeds the
+// openstack.Manager scheduler (reliability metric, proactive
+// migration, SLA accounting).
+//
+// Determinism is a hard requirement and a structural property, not a
+// best effort: every node owns its rng.Source (seeded by the pure
+// NodeSeed function), its telemetry.Clock and its entire simulator
+// stack, so no worker-scheduling order can perturb a node's stream;
+// workers write only to their own node's slot; and everything that
+// crosses nodes — health reports into the manager, VM arrivals, the
+// final summary — is merged in node order on the coordinator
+// goroutine. The same seed therefore produces byte-identical fleet
+// fingerprints at any worker count, while wall-clock drops with cores.
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"uniserver/internal/core"
+	"uniserver/internal/dram"
+	"uniserver/internal/openstack"
+	"uniserver/internal/rng"
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+// Config shapes a fleet run.
+type Config struct {
+	// Nodes is the fleet size.
+	Nodes int
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS. Worker
+	// count never changes results, only wall-clock.
+	Workers int
+	// Seed drives the whole fleet; per-node seeds derive from it via
+	// NodeSeed.
+	Seed uint64
+	// Mode and RiskTarget select each node's operating point.
+	Mode       vfr.Mode
+	RiskTarget float64
+	// Windows is the number of barrier epochs (one simulated minute
+	// each, matching core's runtime window).
+	Windows int
+	// Workload is the per-node guest profile.
+	Workload workload.Profile
+	// Mem configures each node's DRAM system.
+	Mem dram.Config
+	// MemBytesPerNode is the schedulable memory exported per node.
+	MemBytesPerNode uint64
+	// Policy is the cloud scheduling policy.
+	Policy openstack.Policy
+	// VMs is the number of VM arrivals streamed at the fleet; <= 0
+	// picks 3 per node.
+	VMs int
+	// Repair is how long a crashed node stays offline.
+	Repair time.Duration
+	// HealthLogOut, when set, receives every node's JSON-lines health
+	// log, concatenated in node order (deterministic at any worker
+	// count).
+	HealthLogOut io.Writer
+}
+
+// DefaultConfig returns a paper-shaped fleet: high-performance mode,
+// the UniServer reliability-aware policy, and the testbed DRAM config.
+// The migration threshold sits above the risk-target-implied failure
+// probability, so proactive draining fires on nodes that are worse
+// than their advised point promises, not on every healthy EOP node.
+func DefaultConfig(nodes int) Config {
+	policy := openstack.UniServerPolicy()
+	policy.MigrationThreshold = 0.03
+	return Config{
+		Nodes:           nodes,
+		Seed:            1,
+		Mode:            vfr.ModeHighPerformance,
+		RiskTarget:      0.01,
+		Windows:         120,
+		Workload:        workload.WebFrontend(),
+		Mem:             dram.Config{Channels: 2, DIMMsPerChannel: 1, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45},
+		MemBytesPerNode: 64 << 30,
+		Policy:          policy,
+		Repair:          15 * time.Minute,
+	}
+}
+
+// EffectiveWorkers resolves a requested worker count the way Run
+// does: non-positive means GOMAXPROCS, and the pool never exceeds the
+// node count.
+func EffectiveWorkers(workers, nodes int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nodes {
+		workers = nodes
+	}
+	return workers
+}
+
+// NodeSeed derives node i's seed from the fleet seed. It is a pure
+// function of (seed, i) — independent of worker count and of every
+// other node — so characterization outcomes are stable however the
+// pool schedules the work.
+func NodeSeed(seed uint64, i int) uint64 {
+	return rng.New(seed).SplitLabeled(fmt.Sprintf("fleet/node-%04d", i)).Uint64()
+}
+
+// NodeSummary is one node's contribution to the fleet summary.
+type NodeSummary struct {
+	Name               string
+	Seed               uint64
+	PredictorAcc       float64
+	Crashes            int
+	Recharacterized    int
+	WindowsAtEOP       int
+	CorrectableMasked  int
+	EnergySavedWh      float64
+	FinalSafeVoltageMV int
+}
+
+// Summary aggregates a fleet run. All fields except Workers and
+// WallClock are deterministic functions of the Config.
+type Summary struct {
+	Nodes   int
+	Windows int
+
+	// Node-level aggregates (summed in node order).
+	Crashes           int
+	Fallbacks         int
+	Recharacterized   int
+	WindowsAtEOP      int
+	CorrectableMasked int
+	EnergySavedWh     float64
+
+	// Cloud-level aggregates from the manager.
+	Scheduled            int
+	Rejected             int
+	Migrations           int
+	SLAViolations        int
+	UserFacingViolations int
+	EvictedVMs           int
+	EnergyKWh            float64
+	MeanAvailability     float64
+
+	PerNode []NodeSummary
+
+	// Workers and WallClock describe this particular execution; they
+	// are excluded from Fingerprint so summaries can be compared across
+	// worker counts. Realized speedup is measured by running the same
+	// Config at different worker counts and comparing WallClock — never
+	// estimated from goroutine-elapsed times, which oversubscription
+	// inflates.
+	Workers   int
+	WallClock time.Duration
+}
+
+// Fingerprint serializes every deterministic field. Two runs of the
+// same Config must produce equal fingerprints regardless of worker
+// count — the property the paper-reproduction benchmarks rely on.
+// Floats are rendered exactly (hex float format), so even a last-ulp
+// divergence — the signature of order-dependent accumulation — fails
+// the comparison instead of hiding under decimal rounding.
+func (s Summary) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d windows=%d crashes=%d fallbacks=%d rechar=%d eop=%d corr=%d savedWh=%s\n",
+		s.Nodes, s.Windows, s.Crashes, s.Fallbacks, s.Recharacterized,
+		s.WindowsAtEOP, s.CorrectableMasked, exactFloat(s.EnergySavedWh))
+	fmt.Fprintf(&b, "sched=%d rej=%d migr=%d sla=%d uf=%d evict=%d kwh=%s avail=%s\n",
+		s.Scheduled, s.Rejected, s.Migrations, s.SLAViolations,
+		s.UserFacingViolations, s.EvictedVMs, exactFloat(s.EnergyKWh), exactFloat(s.MeanAvailability))
+	for _, n := range s.PerNode {
+		fmt.Fprintf(&b, "%s seed=%d acc=%s crashes=%d rechar=%d eop=%d corr=%d savedWh=%s safeMV=%d\n",
+			n.Name, n.Seed, exactFloat(n.PredictorAcc), n.Crashes, n.Recharacterized,
+			n.WindowsAtEOP, n.CorrectableMasked, exactFloat(n.EnergySavedWh), n.FinalSafeVoltageMV)
+	}
+	return b.String()
+}
+
+// exactFloat renders f without rounding (hexadecimal significand), so
+// fingerprint equality means bit-for-bit float equality.
+func exactFloat(f float64) string {
+	return strconv.FormatFloat(f, 'x', -1, 64)
+}
+
+// nodeState is one node's slot. Workers touch only their own slot
+// between barriers; the coordinator reads all slots after each barrier.
+type nodeState struct {
+	name string
+	seed uint64
+
+	eco    *core.Ecosystem
+	dep    *core.Deployment
+	osNode *openstack.Node
+	pre    core.PreDeploymentReport
+	log    bytes.Buffer
+
+	// Per-epoch outputs, overwritten each barrier.
+	rep      core.WindowReport
+	failProb float64
+
+	err error
+}
+
+// Run executes a full fleet lifecycle: parallel characterization,
+// cluster assembly, VM stream scheduling, and Windows barrier epochs.
+func Run(cfg Config) (Summary, error) {
+	start := time.Now()
+	if cfg.Nodes <= 0 {
+		return Summary{}, errors.New("fleet: need at least one node")
+	}
+	if cfg.Windows < 0 {
+		return Summary{}, errors.New("fleet: negative window count")
+	}
+	workers := EffectiveWorkers(cfg.Workers, cfg.Nodes)
+	if cfg.Repair <= 0 {
+		cfg.Repair = 15 * time.Minute
+	}
+
+	states := make([]*nodeState, cfg.Nodes)
+	for i := range states {
+		states[i] = &nodeState{
+			name: fmt.Sprintf("uniserver-%02d", i),
+			seed: NodeSeed(cfg.Seed, i),
+		}
+	}
+
+	// Phase 1 — pre-deployment characterization fans out across the
+	// pool: each worker builds its node's full ecosystem, runs the
+	// stress campaign, fault-injection and predictor training, enters
+	// the requested mode and exports the node to the cloud layer.
+	forEachNode(workers, len(states), func(i int) {
+		s := states[i]
+		opts := core.DefaultOptions()
+		opts.Seed = s.seed
+		opts.Mem = cfg.Mem
+		opts.HealthLogOut = &s.log
+		eco, err := core.New(opts)
+		if err != nil {
+			s.err = fmt.Errorf("fleet: node %d: %w", i, err)
+			return
+		}
+		pre, err := eco.PreDeployment()
+		if err != nil {
+			s.err = fmt.Errorf("fleet: node %d characterization: %w", i, err)
+			return
+		}
+		dep, err := eco.StartDeployment(cfg.Mode, cfg.RiskTarget, cfg.Workload)
+		if err != nil {
+			s.err = fmt.Errorf("fleet: node %d mode entry: %w", i, err)
+			return
+		}
+		n, err := eco.Node(s.name, cfg.MemBytesPerNode)
+		if err != nil {
+			s.err = fmt.Errorf("fleet: node %d export: %w", i, err)
+			return
+		}
+		s.eco, s.dep, s.osNode, s.pre = eco, dep, n, pre
+	})
+	// flushHealthLog concatenates every node's JSON-lines log in node
+	// order. It also runs on error paths (best effort) so a failed run
+	// still leaves its diagnostics behind — the moment the log matters
+	// most. Buffering until here is deliberate: streaming from workers
+	// would interleave nodes nondeterministically.
+	flushHealthLog := func() error {
+		if cfg.HealthLogOut == nil {
+			return nil
+		}
+		for _, s := range states {
+			if _, err := cfg.HealthLogOut.Write(s.log.Bytes()); err != nil {
+				return fmt.Errorf("fleet: writing health log: %w", err)
+			}
+		}
+		return nil
+	}
+	fail := func(err error) (Summary, error) {
+		_ = flushHealthLog()
+		return Summary{}, err
+	}
+	if err := firstError(states); err != nil {
+		return fail(err)
+	}
+
+	// Phase 2 — cluster assembly on the coordinator, in node order.
+	osNodes := make([]*openstack.Node, len(states))
+	for i, s := range states {
+		osNodes[i] = s.osNode
+	}
+	mgr, err := openstack.NewManager(cfg.Policy, osNodes...)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Deterministic VM arrival stream for the scheduler to chew on.
+	nVMs := cfg.VMs
+	if nVMs <= 0 {
+		nVMs = 3 * cfg.Nodes
+	}
+	horizon := time.Duration(cfg.Windows) * time.Minute
+	if horizon <= 0 {
+		horizon = time.Minute
+	}
+	arrivals, err := workload.Stream(workload.StreamConfig{
+		N:            nVMs,
+		MeanGap:      max(horizon/time.Duration(nVMs+1), time.Minute),
+		MeanLifetime: max(horizon/2, 10*time.Minute),
+		MinLifetime:  10 * time.Minute,
+	}, rng.New(cfg.Seed).SplitLabeled("fleet/arrivals"))
+	if err != nil {
+		return fail(err)
+	}
+
+	// Phase 3 — barrier-synchronized epochs: all nodes step their
+	// deployments concurrently (lock-free: each worker owns its slot),
+	// then the coordinator merges the health reports in node order and
+	// ticks the cloud layer.
+	cursor := openstack.NewStreamCursor(arrivals)
+	evictedVMs := 0
+	for w := 0; w < cfg.Windows; w++ {
+		now := time.Duration(w) * time.Minute
+
+		// Arrivals and departures resolve before the epoch, so newly
+		// placed VMs are exposed to this window's crash/migration
+		// outcome, as in the stream simulator.
+		cursor.Advance(mgr, now)
+
+		forEachNode(workers, len(states), func(i int) {
+			s := states[i]
+			rep, err := s.dep.Step()
+			if err != nil {
+				s.err = fmt.Errorf("fleet: node %d window %d: %w", i, w, err)
+				return
+			}
+			fp, err := s.eco.PredictedFailProb()
+			if err != nil {
+				s.err = fmt.Errorf("fleet: node %d window %d: %w", i, w, err)
+				return
+			}
+			s.rep, s.failProb = rep, fp
+		})
+		if err := firstError(states); err != nil {
+			return fail(err)
+		}
+
+		health := make([]openstack.NodeHealth, len(states))
+		for i, s := range states {
+			health[i] = openstack.NodeHealth{
+				Name:         s.name,
+				FailProb:     s.failProb,
+				Crashed:      s.rep.Crashed,
+				Correctable:  s.rep.Correctable,
+				ThermalAlarm: s.rep.ThermalAlarm,
+			}
+		}
+		stats, err := mgr.StepFleet(health, time.Minute, now, cfg.Repair)
+		if err != nil {
+			return fail(err)
+		}
+		evictedVMs += stats.EvictedVMs
+	}
+
+	// Phase 4 — merge, in node order.
+	sum := Summary{
+		Nodes:   cfg.Nodes,
+		Windows: cfg.Windows,
+		Workers: workers,
+		PerNode: make([]NodeSummary, 0, len(states)),
+	}
+	for _, s := range states {
+		d := s.dep.Summary()
+		sum.Crashes += d.Crashes
+		sum.Fallbacks += d.Fallbacks
+		sum.Recharacterized += d.Recharacterized
+		sum.WindowsAtEOP += d.WindowsAtEOP
+		sum.CorrectableMasked += d.CorrectableMasked
+		sum.EnergySavedWh += d.EnergySavedWh
+		sum.PerNode = append(sum.PerNode, NodeSummary{
+			Name:               s.name,
+			Seed:               s.seed,
+			PredictorAcc:       s.pre.PredictorAcc,
+			Crashes:            d.Crashes,
+			Recharacterized:    d.Recharacterized,
+			WindowsAtEOP:       d.WindowsAtEOP,
+			CorrectableMasked:  d.CorrectableMasked,
+			EnergySavedWh:      d.EnergySavedWh,
+			FinalSafeVoltageMV: d.FinalSafeVoltageMV,
+		})
+	}
+	sum.Scheduled = mgr.Scheduled
+	sum.Rejected = mgr.Rejected
+	sum.Migrations = mgr.Migrations
+	sum.SLAViolations = mgr.SLAViolations
+	sum.UserFacingViolations = mgr.UserFacingViolations
+	sum.EnergyKWh = mgr.EnergyJ / 3.6e6
+	sum.MeanAvailability = mgr.MeanAvailability()
+	sum.EvictedVMs = evictedVMs
+
+	if err := flushHealthLog(); err != nil {
+		return sum, err
+	}
+	sum.WallClock = time.Since(start)
+	return sum, nil
+}
+
+// forEachNode runs fn(i) for every node index on a pool of `workers`
+// goroutines. fn must touch only node i's state.
+func forEachNode(workers, n int, fn func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// firstError returns the lowest-index node error, so failures are as
+// deterministic as successes.
+func firstError(states []*nodeState) error {
+	for _, s := range states {
+		if s.err != nil {
+			return s.err
+		}
+	}
+	return nil
+}

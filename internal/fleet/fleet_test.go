@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallConfig keeps test runs fast: few nodes, a short horizon.
+func smallConfig(nodes, workers int) Config {
+	cfg := DefaultConfig(nodes)
+	cfg.Workers = workers
+	cfg.Windows = 40
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestFleetDeterministicAcrossWorkerCounts is the contract the whole
+// engine is built around: the same seed must produce byte-identical
+// fleet fingerprints at 1, 4 and 8 workers. Run with -race to also
+// verify the lock-free stepping really is data-race free.
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	var want string
+	for _, workers := range []int{1, 4, 8} {
+		sum, err := Run(smallConfig(3, workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := sum.Fingerprint()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("fingerprint diverged at workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestFleetHealthLogNodeOrder checks the concatenated JSON-lines log
+// is merged in node order, so the log itself is deterministic too.
+func TestFleetHealthLogNodeOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	run := func(workers int) string {
+		cfg := smallConfig(2, workers)
+		cfg.Windows = 10
+		var buf bytes.Buffer
+		cfg.HealthLogOut = &buf
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq, par := run(1), run(4)
+	if seq == "" {
+		t.Fatal("no health log produced")
+	}
+	if seq != par {
+		t.Fatal("health log differs between worker counts")
+	}
+}
+
+// TestFleetSummaryShape sanity-checks the aggregates of a short run.
+func TestFleetSummaryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	cfg := smallConfig(2, 2)
+	cfg.Windows = 20
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Nodes != 2 || sum.Windows != 20 || len(sum.PerNode) != 2 {
+		t.Fatalf("summary shape wrong: %+v", sum)
+	}
+	if sum.WindowsAtEOP == 0 {
+		t.Fatal("no windows at EOP: fleet never reached extended operating points")
+	}
+	if sum.Scheduled == 0 {
+		t.Fatal("no VMs scheduled onto the fleet")
+	}
+	if sum.EnergyKWh <= 0 {
+		t.Fatal("no cloud energy accounted")
+	}
+	for i, n := range sum.PerNode {
+		if n.Seed != NodeSeed(cfg.Seed, i) {
+			t.Fatalf("node %d seed mismatch", i)
+		}
+		if n.PredictorAcc <= 0.5 {
+			t.Fatalf("node %d predictor accuracy %.2f implausible", i, n.PredictorAcc)
+		}
+	}
+	if !strings.Contains(sum.Fingerprint(), "uniserver-01") {
+		t.Fatal("fingerprint missing per-node lines")
+	}
+}
+
+// TestFleetConfigValidation exercises the error paths.
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Nodes: 0}); err == nil {
+		t.Fatal("zero-node fleet accepted")
+	}
+	cfg := DefaultConfig(1)
+	cfg.Windows = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative window count accepted")
+	}
+}
+
+// TestNodeSeedPure checks the seed derivation is a pure function and
+// collision-free over a plausible fleet size.
+func TestNodeSeedPure(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1024; i++ {
+		s := NodeSeed(99, i)
+		if s != NodeSeed(99, i) {
+			t.Fatalf("NodeSeed(99, %d) not stable", i)
+		}
+		if j, dup := seen[s]; dup {
+			t.Fatalf("NodeSeed collision between nodes %d and %d", i, j)
+		}
+		seen[s] = i
+	}
+}

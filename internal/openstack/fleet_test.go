@@ -1,0 +1,109 @@
+package openstack
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStepFleetValidation(t *testing.T) {
+	m, _, _ := twoNodeManager(t, UniServerPolicy())
+	if _, err := m.StepFleet([]NodeHealth{{Name: "ghost"}}, time.Minute, 0, time.Hour); err == nil {
+		t.Fatal("health report for unknown node accepted")
+	}
+	dup := []NodeHealth{{Name: "node-a"}, {Name: "node-a"}}
+	if _, err := m.StepFleet(dup, time.Minute, 0, time.Hour); err == nil {
+		t.Fatal("duplicate health report accepted")
+	}
+}
+
+func TestStepFleetHealthDrivenCrash(t *testing.T) {
+	m, a, b := twoNodeManager(t, LegacyPolicy())
+	if _, err := m.Schedule(spec("vm-a", 2, 4<<30), SLAGold); err != nil {
+		t.Fatal(err)
+	}
+	// vm lands on one of the nodes; crash that node via health.
+	victim, other := a, b
+	if len(b.Instances()) > 0 {
+		victim, other = b, a
+	}
+	health := []NodeHealth{
+		{Name: victim.Name, FailProb: 0.2, Crashed: true},
+		{Name: other.Name, FailProb: 0.0001},
+	}
+	stats, err := m.StepFleet(health, 5*time.Minute, 0, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Crashes != 1 || stats.EvictedVMs != 1 {
+		t.Fatalf("stats = %+v; want 1 crash, 1 eviction", stats)
+	}
+	if victim.Online() {
+		t.Fatal("crashed node still online")
+	}
+	if m.SLAViolations != 1 || m.UserFacingViolations != 1 {
+		t.Fatalf("violations = %d/%d; want 1/1", m.SLAViolations, m.UserFacingViolations)
+	}
+	// The repair interval elapses; the node comes back online and the
+	// updated FailProb landed in the reliability metric.
+	stats, err = m.StepFleet(nil, 5*time.Minute, 30*time.Minute, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OnlineNodes != 2 {
+		t.Fatalf("online = %d after repair; want 2", stats.OnlineNodes)
+	}
+	if victim.BaseFailProb != 0.2 {
+		t.Fatalf("health FailProb not applied: %v", victim.BaseFailProb)
+	}
+}
+
+func TestStepFleetProactiveMigrationSeesHealthFirst(t *testing.T) {
+	m, a, b := twoNodeManager(t, UniServerPolicy())
+	if _, err := m.Schedule(spec("vm-a", 2, 4<<30), SLASilver); err != nil {
+		t.Fatal(err)
+	}
+	hosting, spare := a, b
+	if len(b.Instances()) > 0 {
+		hosting, spare = b, a
+	}
+	// The hosting node's predicted failure probability jumps above the
+	// migration threshold AND it crashes this same window. Proactive
+	// migration must move the VM off before the crash resolves, so no
+	// SLA violation occurs.
+	health := []NodeHealth{
+		{Name: hosting.Name, FailProb: 0.05, Crashed: true},
+		{Name: spare.Name, FailProb: 0.0001},
+	}
+	stats, err := m.StepFleet(health, 5*time.Minute, 0, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Migrations != 1 {
+		t.Fatalf("migrations = %d; want 1", stats.Migrations)
+	}
+	if stats.EvictedVMs != 0 || m.SLAViolations != 0 {
+		t.Fatalf("vm lost despite proactive migration: %+v", stats)
+	}
+	if len(spare.Instances()) != 1 {
+		t.Fatal("vm did not land on the spare node")
+	}
+}
+
+func TestStepFleetDeterministicEnergy(t *testing.T) {
+	run := func() float64 {
+		m, _, _ := twoNodeManager(t, LegacyPolicy())
+		for w := 0; w < 10; w++ {
+			now := time.Duration(w) * 5 * time.Minute
+			if _, err := m.StepFleet([]NodeHealth{
+				{Name: "node-a", FailProb: 0.001, Crashed: w == 3},
+				{Name: "node-b", FailProb: 0.001},
+			}, 5*time.Minute, now, 15*time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.EnergyJ
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("fleet stepping not deterministic: %v != %v", a, b)
+	}
+}

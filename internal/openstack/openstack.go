@@ -42,6 +42,19 @@ var (
 	SLABronze = SLA{Name: "bronze", MaxFailProb: 0.05, UserFacing: false}
 )
 
+// SLAFor cycles arrival index i through the standard tiers — the VM
+// mix shared by the stream simulator and the fleet engine.
+func SLAFor(i int) SLA {
+	switch i % 3 {
+	case 0:
+		return SLAGold
+	case 1:
+		return SLASilver
+	default:
+		return SLABronze
+	}
+}
+
 // NodeMetrics are the per-node quantities the scheduler weighs. The
 // reliability metric is UniServer's addition to the traditional trio.
 type NodeMetrics struct {
@@ -383,6 +396,19 @@ func (m *Manager) ProactiveMigration() int {
 // energy integration. Crashed nodes lose their instances (each loss is
 // an SLA violation) and come back after repair.
 func (m *Manager) Tick(window time.Duration, now time.Duration, repair time.Duration, src *rng.Source) {
+	m.resolveWindow(window, now, repair, func(n *Node) bool {
+		return src.Bernoulli(n.FailProb())
+	}, nil)
+}
+
+// resolveWindow is the single per-window node-resolution loop shared
+// by Tick and StepFleet: repairs complete, availability and energy
+// are accounted, and nodes for which crashed reports true go down for
+// the repair interval, losing their instances (each loss is an SLA
+// violation). Nodes resolve in sorted order; crashed is only called
+// for online nodes, in that order. stats, when non-nil, receives the
+// epoch's counters.
+func (m *Manager) resolveWindow(window, now, repair time.Duration, crashed func(*Node) bool, stats *FleetStepStats) {
 	for _, n := range m.Nodes() {
 		n.windowsTotal++
 		if !n.online {
@@ -393,14 +419,25 @@ func (m *Manager) Tick(window time.Duration, now time.Duration, repair time.Dura
 			}
 		}
 		n.windowsUp++
-		m.EnergyJ += n.Metrics().PowerW * window.Seconds()
-		if src.Bernoulli(n.FailProb()) {
+		met := n.Metrics()
+		m.EnergyJ += met.PowerW * window.Seconds()
+		if stats != nil {
+			stats.OnlineNodes++
+			stats.PowerW += met.PowerW
+		}
+		if crashed(n) {
 			m.Crashes++
+			if stats != nil {
+				stats.Crashes++
+			}
 			n.online = false
 			n.repairUntil = now + repair
 			for _, inst := range n.Instances() {
 				n.remove(inst.Spec.Name)
 				m.SLAViolations++
+				if stats != nil {
+					stats.EvictedVMs++
+				}
 				if inst.SLA.UserFacing {
 					m.UserFacingViolations++
 				}

@@ -50,6 +50,49 @@ type SimResult struct {
 	MeanAvailability float64
 }
 
+// StreamCursor replays a VM arrival stream against a manager, one
+// observation window at a time: due arrivals are scheduled with the
+// standard SLA mix, expired VMs terminate. It is the single
+// arrival/departure bookkeeping shared by the stream simulator and
+// the fleet engine, so the two stay behaviorally identical.
+type StreamCursor struct {
+	arrivals   []workload.Arrival
+	next       int
+	departures []departure
+}
+
+type departure struct {
+	at   time.Duration
+	name string
+}
+
+// NewStreamCursor returns a cursor at the start of the stream.
+func NewStreamCursor(arrivals []workload.Arrival) *StreamCursor {
+	return &StreamCursor{arrivals: arrivals}
+}
+
+// Advance schedules the arrivals due at now (failed placements are
+// dropped, counted by the manager as rejections) and terminates the
+// VMs whose lifetime has expired.
+func (c *StreamCursor) Advance(m *Manager, now time.Duration) {
+	for c.next < len(c.arrivals) && c.arrivals[c.next].At <= now {
+		a := c.arrivals[c.next]
+		if _, err := m.Schedule(a.Spec, SLAFor(c.next)); err == nil {
+			c.departures = append(c.departures, departure{at: now + a.Lifetime, name: a.Spec.Name})
+		}
+		c.next++
+	}
+	kept := c.departures[:0]
+	for _, d := range c.departures {
+		if d.at <= now {
+			m.Terminate(d.name)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	c.departures = kept
+}
+
 // RunStream drives an arrival stream through the manager: VMs arrive
 // and terminate on schedule, nodes degrade, crash and repair, and the
 // policy's proactive migration runs every window. Crashed-node repairs
@@ -59,51 +102,16 @@ func RunStream(m *Manager, arrivals []workload.Arrival, cfg SimConfig, src *rng.
 	if cfg.Window <= 0 || cfg.Horizon <= 0 {
 		return SimResult{}, errors.New("openstack: sim needs positive window and horizon")
 	}
-	type departure struct {
-		at   time.Duration
-		name string
-	}
-	var departures []departure
+	cursor := NewStreamCursor(arrivals)
 	original := make(map[string]float64, len(m.nodes))
 	for name, n := range m.nodes {
 		original[name] = n.BaseFailProb
 	}
 
-	slaFor := func(i int) SLA {
-		switch i % 3 {
-		case 0:
-			return SLAGold
-		case 1:
-			return SLASilver
-		default:
-			return SLABronze
-		}
-	}
-
 	res := SimResult{}
-	next := 0
 	for now := time.Duration(0); now < cfg.Horizon; now += cfg.Window {
 		res.Windows++
-
-		// Arrivals due this window.
-		for next < len(arrivals) && arrivals[next].At <= now {
-			a := arrivals[next]
-			if _, err := m.Schedule(a.Spec, slaFor(next)); err == nil {
-				departures = append(departures, departure{at: now + a.Lifetime, name: a.Spec.Name})
-			}
-			next++
-		}
-
-		// Departures due this window.
-		kept := departures[:0]
-		for _, d := range departures {
-			if d.at <= now {
-				m.Terminate(d.name)
-				continue
-			}
-			kept = append(kept, d)
-		}
-		departures = kept
+		cursor.Advance(m, now)
 
 		// Degradation lottery: an online node turns erratic.
 		if src.Bernoulli(cfg.DegradeProb) {
@@ -147,11 +155,7 @@ func RunStream(m *Manager, arrivals []workload.Arrival, cfg SimConfig, src *rng.
 	res.Crashes = m.Crashes
 	res.EnergyKWh = m.EnergyJ / 3.6e6
 
-	total := 0.0
-	for _, n := range m.Nodes() {
-		total += n.Metrics().Availability
-	}
-	res.MeanAvailability = total / float64(len(m.nodes))
+	res.MeanAvailability = m.MeanAvailability()
 	return res, nil
 }
 
