@@ -8,19 +8,31 @@
 // -workers goroutines, feeding per-epoch health into the
 // reliability-aware cloud scheduler, with a deterministic aggregate
 // summary (same seed, same summary, at any worker count).
+//
+// The scenario layer sits on top: -list-scenarios names the bundled
+// presets, -scenario runs one of them (silicon-bin mixes, thermal
+// seasons, bursty tenants, mode churn, droop attacks), and -campaign
+// fans a scenario×seed grid out in parallel, printing the comparative
+// per-scenario metrics and (with -report) a machine-readable JSON
+// report. Scenario runs print a fingerprint hash: same preset, same
+// seed — same hash, at any worker count.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"uniserver/internal/core"
 	"uniserver/internal/dram"
 	"uniserver/internal/fleet"
+	"uniserver/internal/scenario"
 	"uniserver/internal/vfr"
 	"uniserver/internal/workload"
 )
@@ -42,10 +54,34 @@ func run() error {
 	closedLoop := flag.Bool("closed-loop", false,
 		"run the supervised deployment loop (crash fallback, aging, auto re-characterization)")
 	nodes := flag.Int("nodes", 1, "fleet size; >1 runs the concurrent multi-node engine")
-	workers := flag.Int("workers", 0, "worker goroutines for the fleet engine (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0,
+		"worker goroutines for the fleet engine (0 = GOMAXPROCS; campaigns parallelize across cells instead, so 0 = 1 worker per cell)")
 	compare := flag.Bool("compare", false,
 		"fleet mode: also run a 1-worker reference pass, verify the summaries are identical, and report the measured speedup")
+	listScenarios := flag.Bool("list-scenarios", false, "list the bundled scenario presets and exit")
+	scenarioName := flag.String("scenario", "", "run a scenario preset (see -list-scenarios); -nodes/-windows rescale it")
+	campaignSpec := flag.String("campaign", "",
+		"run a scenario campaign: 'smoke', 'all', or comma-separated preset names; grid is scenarios x -seeds")
+	seedCount := flag.Int("seeds", 1, "campaign: seeds per scenario (seed, seed+1, ...)")
+	reportPath := flag.String("report", "", "campaign: write the machine-readable JSON report to this file")
 	flag.Parse()
+
+	// Which flags did the user set explicitly? -nodes/-windows double
+	// as scenario rescale overrides, but only when actually given.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *listScenarios {
+		fmt.Printf("%-16s %6s %8s %5s  %s\n", "NAME", "NODES", "WINDOWS", "VMS", "DESCRIPTION")
+		for _, s := range scenario.Presets() {
+			vms := s.VMs
+			if vms <= 0 {
+				vms = 3 * s.Nodes
+			}
+			fmt.Printf("%-16s %6d %8d %5d  %s\n", s.Name, s.Nodes, s.Windows, vms, s.Description)
+		}
+		return nil
+	}
 
 	var m vfr.Mode
 	switch *mode {
@@ -61,14 +97,36 @@ func run() error {
 	// Reject meaningless flag combinations before touching the
 	// filesystem: os.Create truncates, and a usage error must not cost
 	// the user an existing health log.
-	if *nodes > 1 && *closedLoop {
-		return fmt.Errorf("-closed-loop only applies to -nodes 1; the fleet engine always runs the supervised loop")
+	scenarioMode := *scenarioName != "" || *campaignSpec != ""
+	if *scenarioName != "" && *campaignSpec != "" {
+		return fmt.Errorf("-scenario and -campaign are mutually exclusive")
 	}
-	if *nodes <= 1 && *compare {
-		return fmt.Errorf("-compare only applies to fleet mode (-nodes > 1)")
+	if scenarioMode {
+		if *closedLoop || *compare {
+			return fmt.Errorf("-closed-loop and -compare do not apply to scenario runs")
+		}
+		if set["mode"] || set["risk"] {
+			return fmt.Errorf("scenarios declare their own mode and risk target; -mode/-risk do not apply")
+		}
+	} else {
+		if *nodes > 1 && *closedLoop {
+			return fmt.Errorf("-closed-loop only applies to -nodes 1; the fleet engine always runs the supervised loop")
+		}
+		if *nodes <= 1 && *compare {
+			return fmt.Errorf("-compare only applies to fleet mode (-nodes > 1)")
+		}
+		if *nodes <= 1 && *workers != 0 {
+			return fmt.Errorf("-workers only applies to fleet mode (-nodes > 1); the single-node loop is sequential")
+		}
 	}
-	if *nodes <= 1 && *workers != 0 {
-		return fmt.Errorf("-workers only applies to fleet mode (-nodes > 1); the single-node loop is sequential")
+	if *campaignSpec != "" && *logfile != "" {
+		return fmt.Errorf("-healthlog does not apply to campaigns (many runs, one file)")
+	}
+	if *reportPath != "" && *campaignSpec == "" {
+		return fmt.Errorf("-report only applies to -campaign")
+	}
+	if set["seeds"] && *campaignSpec == "" {
+		return fmt.Errorf("-seeds only applies to -campaign; use -seed for a single run")
 	}
 
 	// The health log must be closed (flushing the JSON lines) on every
@@ -99,16 +157,149 @@ func run() error {
 		return nil
 	}
 
-	if *nodes > 1 {
+	// -nodes/-windows rescale scenarios only when given explicitly
+	// (their defaults mean "preset size" here, not 1 node).
+	nodesOverride, windowsOverride := 0, 0
+	if set["nodes"] {
+		nodesOverride = *nodes
+	}
+	if set["windows"] {
+		windowsOverride = *windows
+	}
+
+	switch {
+	case *scenarioName != "":
+		if err := runScenario(*scenarioName, nodesOverride, windowsOverride, *seed, *workers, healthOut); err != nil {
+			return err
+		}
+	case *campaignSpec != "":
+		if err := runCampaign(*campaignSpec, nodesOverride, windowsOverride, *seed, *seedCount, *workers, *reportPath); err != nil {
+			return err
+		}
+	case *nodes > 1:
 		if err := runFleet(*nodes, *workers, *seed, m, *risk, *windows, *compare, healthOut); err != nil {
 			return err
 		}
-		return closeHealthLog()
-	}
-	if err := runSingleNode(*seed, m, *risk, *windows, *closedLoop, healthOut); err != nil {
-		return err
+	default:
+		if err := runSingleNode(*seed, m, *risk, *windows, *closedLoop, healthOut); err != nil {
+			return err
+		}
 	}
 	return closeHealthLog()
+}
+
+// runScenario runs one preset (optionally rescaled) and prints its
+// summary plus the determinism fingerprint hash.
+func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, workers int, healthOut *os.File) error {
+	s, err := scenario.ByName(name)
+	if err != nil {
+		return err
+	}
+	if nodesOverride > 0 || windowsOverride > 0 {
+		s = s.Scale(nodesOverride, windowsOverride)
+	}
+	cfg, err := s.FleetConfig(seed)
+	if err != nil {
+		return err
+	}
+	cfg.Workers = workers
+	if healthOut != nil {
+		cfg.HealthLogOut = healthOut
+	}
+	fmt.Printf("== scenario %s: %s ==\n", s.Name, s.Description)
+	fmt.Printf("   %d nodes, %d windows, seed %d, %d workers (GOMAXPROCS %d)\n",
+		s.Nodes, s.Windows, seed, fleet.EffectiveWorkers(workers, s.Nodes), runtime.GOMAXPROCS(0))
+	sum, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  windows at EOP:           %d of %d node-windows\n", sum.WindowsAtEOP, sum.Nodes*sum.Windows)
+	fmt.Printf("  node crashes (recovered): %d (%d re-characterizations)\n", sum.Crashes, sum.Recharacterized)
+	fmt.Printf("  correctable masked:       %d\n", sum.CorrectableMasked)
+	fmt.Printf("  node energy saved:        %.2f Wh\n", sum.EnergySavedWh)
+	fmt.Printf("  VMs scheduled/rejected:   %d / %d\n", sum.Scheduled, sum.Rejected)
+	fmt.Printf("  proactive migrations:     %d\n", sum.Migrations)
+	fmt.Printf("  SLA violations:           %d (%d user-facing)\n", sum.SLAViolations, sum.UserFacingViolations)
+	fmt.Printf("  fleet energy:             %.3f kWh, mean availability %.4f\n", sum.EnergyKWh, sum.MeanAvailability)
+	fmt.Printf("  wall-clock:               %v at %d workers\n", sum.WallClock.Round(time.Millisecond), sum.Workers)
+	for _, n := range sum.PerNode {
+		fmt.Printf("    %-14s %-9s crashes %2d  eop %3d/%d  saved %7.2f Wh  safe %d mV\n",
+			n.Name, n.Model, n.Crashes, n.WindowsAtEOP, sum.Windows, n.EnergySavedWh, n.FinalSafeVoltageMV)
+	}
+	fp := sha256.Sum256([]byte(sum.Fingerprint()))
+	fmt.Printf("\nfingerprint sha256:%s\n", hex.EncodeToString(fp[:]))
+	fmt.Println("(same preset + same seed => same fingerprint, at any -workers)")
+	return nil
+}
+
+// runCampaign assembles the requested scenario×seed grid, fans it out
+// in parallel, and prints the comparative table.
+func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, seedCount, workers int, reportPath string) error {
+	if seedCount <= 0 {
+		return fmt.Errorf("-seeds must be positive")
+	}
+	var camp scenario.Campaign
+	if spec == "smoke" {
+		camp = scenario.SmokeCampaign(nodesOverride)
+		if windowsOverride > 0 {
+			for i, s := range camp.Scenarios {
+				camp.Scenarios[i] = s.Scale(0, windowsOverride)
+			}
+		}
+	} else {
+		names := scenario.Names()
+		if spec != "all" {
+			names = strings.Split(spec, ",")
+		}
+		for _, name := range names {
+			s, err := scenario.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			if nodesOverride > 0 || windowsOverride > 0 {
+				s = s.Scale(nodesOverride, windowsOverride)
+			}
+			camp.Scenarios = append(camp.Scenarios, s)
+		}
+	}
+	camp.Seeds = nil // -seed/-seeds own the grid's seed axis, even for smoke
+	for i := 0; i < seedCount; i++ {
+		camp.Seeds = append(camp.Seeds, seed+uint64(i))
+	}
+	camp.FleetWorkers = workers
+
+	fmt.Printf("== campaign: %d scenarios x %d seeds (%d cells, %d-way parallel) ==\n",
+		len(camp.Scenarios), len(camp.Seeds), len(camp.Scenarios)*len(camp.Seeds), runtime.GOMAXPROCS(0))
+	start := time.Now()
+	rep, err := scenario.RunCampaign(camp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %5s %7s %9s %8s %7s %6s %5s %6s %10s  %s\n",
+		"SCENARIO", "RUNS", "AVAIL", "KWH", "SAVED_WH", "TEMP_C", "CRASH", "MIGR", "SLA", "SCHED/REJ", "FINGERPRINT")
+	for _, sr := range rep.Scenarios {
+		fmt.Printf("%-16s %5d %7.4f %9.3f %8.2f %7.1f %6d %5d %6d %6d/%-3d  %.12s\n",
+			sr.Scenario, sr.Runs, sr.MeanAvailability, sr.EnergyKWh, sr.EnergySavedWh,
+			sr.MeanCPUTempC, sr.Crashes, sr.Migrations, sr.SLAViolations, sr.Scheduled, sr.Rejected,
+			sr.FingerprintSHA256)
+	}
+	fmt.Printf("\ncampaign fingerprint sha256:%s  (%v wall-clock)\n",
+		rep.FingerprintSHA256, time.Since(start).Round(time.Millisecond))
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			return fmt.Errorf("report file: %w", err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing report: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing report: %w", err)
+		}
+		fmt.Printf("report written to %s\n", reportPath)
+	}
+	return nil
 }
 
 // runFleet drives the concurrent multi-node engine and prints the

@@ -194,6 +194,8 @@ func TestIntegrationFleetNodeEqualsStandaloneNode(t *testing.T) {
 			got.Recharacterized != want.Recharacterized ||
 			got.WindowsAtEOP != want.WindowsAtEOP ||
 			got.CorrectableMasked != want.CorrectableMasked ||
+			got.DRAMCorrected != want.DRAMCorrected ||
+			got.MeanCPUTempC != want.MeanCPUTempC ||
 			got.EnergySavedWh != want.EnergySavedWh ||
 			got.FinalSafeVoltageMV != want.FinalSafeVoltageMV {
 			t.Fatalf("fleet node %d diverged from standalone run:\nfleet:      %+v\nstandalone: %+v", i, got, want)

@@ -55,6 +55,12 @@ type Options struct {
 	StressPeriod time.Duration
 	// HealthLogOut optionally receives the JSON-lines system logfile.
 	HealthLogOut io.Writer
+	// AmbientCPUC and AmbientDIMMC set the initial ambient
+	// temperatures the die and DIMM thermal nodes relax toward; zero
+	// means the defaults (28 and 34 °C — an air-conditioned room).
+	// Scenario layers change ambient mid-run via SetAmbient.
+	AmbientCPUC  float64
+	AmbientDIMMC float64
 }
 
 // DefaultOptions returns the paper-shaped configuration.
@@ -70,6 +76,16 @@ func DefaultOptions() Options {
 		Hyp:          hcfg,
 		StressPeriod: 75 * 24 * time.Hour, // ~2.5 months
 	}
+}
+
+// SetPart rebinds the options to a different CPU part — a silicon bin
+// in a heterogeneous fleet — rewiring the hypervisor host shape
+// (thread count, nominal point) that DefaultOptions derived from the
+// default part.
+func (o *Options) SetPart(part cpu.PartSpec) {
+	o.Part = part
+	o.Hyp.Cores = part.Cores * 4
+	o.Hyp.Nominal = part.Nominal
 }
 
 // Ecosystem is one fully wired UniServer node.
@@ -99,6 +115,12 @@ type Ecosystem struct {
 func New(opts Options) (*Ecosystem, error) {
 	if opts.Part.Cores == 0 {
 		return nil, errors.New("core: options missing a CPU part (use DefaultOptions)")
+	}
+	if opts.AmbientCPUC == 0 {
+		opts.AmbientCPUC = 28
+	}
+	if opts.AmbientDIMMC == 0 {
+		opts.AmbientDIMMC = 34
 	}
 	src := rng.New(opts.Seed)
 	clock := telemetry.NewClock(time.Date(2017, 2, 1, 0, 0, 0, 0, time.UTC))
@@ -131,8 +153,8 @@ func New(opts Options) (*Ecosystem, error) {
 		power:      power.DefaultCPUModel(),
 		refresh:    refresh,
 		mode:       vfr.ModeNominal,
-		cpuTherm:   thermal.CPUNode(28),
-		memTherm:   thermal.DIMMNode(34),
+		cpuTherm:   thermal.CPUNode(opts.AmbientCPUC),
+		memTherm:   thermal.DIMMNode(opts.AmbientDIMMC),
 		trip:       thermal.DefaultTrip(),
 	}, nil
 }
@@ -140,6 +162,16 @@ func New(opts Options) (*Ecosystem, error) {
 // Temperatures returns the current die and DIMM temperatures.
 func (e *Ecosystem) Temperatures() (cpuC, dimmC float64) {
 	return e.cpuTherm.TempC, e.memTherm.TempC
+}
+
+// SetAmbient retargets the ambient temperatures the die and DIMM
+// thermal nodes relax toward — the "variations of environmental
+// conditions" lever scenario layers pull (seasonal heat, a failed CRAC
+// unit, free cooling). The current temperatures are untouched; they
+// drift toward the new ambient over the nodes' RC time constants.
+func (e *Ecosystem) SetAmbient(cpuC, dimmC float64) {
+	e.cpuTherm.AmbientC = cpuC
+	e.memTherm.AmbientC = dimmC
 }
 
 // PreDeploymentReport summarizes the characterization phase.

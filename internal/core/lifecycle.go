@@ -48,14 +48,21 @@ func (e *Ecosystem) Recharacterize() (stresslog.MarginVector, error) {
 
 // DeploymentSummary aggregates a long-horizon supervised deployment.
 type DeploymentSummary struct {
-	Windows            int
-	Crashes            int
-	Fallbacks          int
-	Recharacterized    int
-	WindowsAtEOP       int
-	WindowsAtNominal   int
-	EnergySavedWh      float64
-	CorrectableMasked  int
+	Windows           int
+	Crashes           int
+	Fallbacks         int
+	Recharacterized   int
+	WindowsAtEOP      int
+	WindowsAtNominal  int
+	EnergySavedWh     float64
+	CorrectableMasked int
+	// DRAMCorrected counts DRAM retention errors corrected by SECDED
+	// across all windows — the counter relaxed-refresh scenarios and
+	// hot seasons move.
+	DRAMCorrected int
+	// MeanCPUTempC is the mean die temperature over the deployment —
+	// the observable ambient-temperature scenarios exist to shift.
+	MeanCPUTempC       float64
 	FinalAgeShiftMV    float64
 	FinalSafeVoltageMV int
 }
@@ -74,6 +81,7 @@ type Deployment struct {
 	wl       workload.Profile
 	aging    silicon.AgingModel
 	nominalW float64
+	tempSumC float64
 	sum      DeploymentSummary
 }
 
@@ -106,6 +114,10 @@ func (d *Deployment) Step() (WindowReport, error) {
 	rep := e.RuntimeWindow(d.wl)
 	d.sum.Windows++
 	d.sum.CorrectableMasked += rep.Correctable
+	for _, n := range rep.DRAMHits {
+		d.sum.DRAMCorrected += n
+	}
+	d.tempSumC += rep.CPUTempC
 	if e.mode == vfr.ModeNominal {
 		d.sum.WindowsAtNominal++
 	} else {
@@ -142,10 +154,40 @@ func (d *Deployment) Step() (WindowReport, error) {
 	return rep, nil
 }
 
+// SwitchMode re-enters the deployment at a different operating mode
+// and risk target mid-run — the "mode churn" lever: a fleet operator
+// moving nodes between high-performance and low-power regimes as
+// demand shifts. The advisor re-derives the V-F-R point from the
+// current EOP table, so a switch after aging or re-characterization
+// lands on the drifted margins, not the day-one ones.
+func (d *Deployment) SwitchMode(mode vfr.Mode, riskTarget float64) error {
+	if _, err := d.eco.EnterMode(mode, riskTarget, d.wl); err != nil {
+		return err
+	}
+	d.mode = mode
+	d.risk = riskTarget
+	return nil
+}
+
+// SetWorkload swaps the guest profile the deployment steps with — the
+// lever behind tenant churn and droop-virus attack injection. The
+// energy ledger's nominal baseline is recomputed for the new activity
+// factor so savings stay comparable across the switch.
+func (d *Deployment) SetWorkload(wl workload.Profile) {
+	d.wl = wl
+	d.nominalW = d.eco.power.TotalW(d.eco.Machine.Spec.Nominal, wl.CPUActivity, 55)
+}
+
+// Workload returns the guest profile the deployment currently runs.
+func (d *Deployment) Workload() workload.Profile { return d.wl }
+
 // Summary returns the deployment totals so far, with the final margin
 // and aging figures filled in from the ecosystem's current state.
 func (d *Deployment) Summary() DeploymentSummary {
 	sum := d.sum
+	if sum.Windows > 0 {
+		sum.MeanCPUTempC = d.tempSumC / float64(sum.Windows)
+	}
 	sum.FinalAgeShiftMV = d.eco.Machine.Chip.AgeShiftMV
 	if m, err := d.eco.worstCPUMargin(); err == nil {
 		sum.FinalSafeVoltageMV = m.Safe.VoltageMV

@@ -1,0 +1,37 @@
+package fleet_test
+
+import (
+	"fmt"
+	"log"
+
+	"uniserver/internal/fleet"
+)
+
+// Example runs a small fleet twice — once sequentially, once on four
+// workers — and shows the determinism contract: worker count changes
+// wall-clock, never results.
+func Example() {
+	cfg := fleet.DefaultConfig(2)
+	cfg.Seed = 42
+	cfg.Windows = 8
+	cfg.Workers = 1
+	seq, err := fleet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Workers = 4
+	par, err := fleet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("nodes=%d windows=%d\n", seq.Nodes, seq.Windows)
+	fmt.Printf("windows at EOP: %d of %d\n", seq.WindowsAtEOP, seq.Nodes*seq.Windows)
+	fmt.Printf("fingerprints identical across worker counts: %v\n",
+		seq.Fingerprint() == par.Fingerprint())
+	// Output:
+	// nodes=2 windows=8
+	// windows at EOP: 16 of 16
+	// fingerprints identical across worker counts: true
+}

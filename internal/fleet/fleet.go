@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"uniserver/internal/core"
+	"uniserver/internal/cpu"
 	"uniserver/internal/dram"
 	"uniserver/internal/openstack"
 	"uniserver/internal/rng"
@@ -70,6 +71,113 @@ type Config struct {
 	// log, concatenated in node order (deterministic at any worker
 	// count).
 	HealthLogOut io.Writer
+
+	// Node, when set, supplies node i's full spec — silicon bin,
+	// memory, operating point, guest profile, ambient — overriding the
+	// homogeneous fields above. It MUST be a pure function of i: it is
+	// called from worker goroutines in scheduling order, and any
+	// hidden state would break the determinism contract. Start from
+	// BaseSpec and mutate.
+	Node func(i int) NodeSpec
+	// Perturb, when set, returns the scenario intervention to apply to
+	// node i immediately before it steps window w — ambient changes,
+	// workload swaps (tenant churn, droop-virus injection), mid-run
+	// mode switches. Same purity rule as Node: it must depend only on
+	// (i, w).
+	Perturb func(i, w int) Perturbation
+	// Arrivals, when set, replaces the default exponential VM stream
+	// with an explicit (already deterministic) arrival schedule — how
+	// scenario layers express diurnal and bursty tenant patterns.
+	Arrivals []workload.Arrival
+}
+
+// NodeSpec is one node's complete configuration in a (possibly
+// heterogeneous) fleet.
+type NodeSpec struct {
+	// Part is the node's silicon bin; the zero value means the core
+	// default part (the i5-4200U of Table 2).
+	Part cpu.PartSpec
+	// Mem and MemBytes shape the node's DRAM system and schedulable
+	// memory.
+	Mem      dram.Config
+	MemBytes uint64
+	// Mode, RiskTarget and Workload select the node's operating point
+	// and guest profile.
+	Mode       vfr.Mode
+	RiskTarget float64
+	Workload   workload.Profile
+	// AmbientCPUC and AmbientDIMMC are the initial ambient
+	// temperatures; zero means the core defaults (28 / 34 °C).
+	AmbientCPUC  float64
+	AmbientDIMMC float64
+}
+
+// BaseSpec returns the homogeneous per-node spec implied by the
+// Config's top-level fields — the starting point Node hooks mutate.
+func (cfg Config) BaseSpec() NodeSpec {
+	return NodeSpec{
+		Mem:        cfg.Mem,
+		MemBytes:   cfg.MemBytesPerNode,
+		Mode:       cfg.Mode,
+		RiskTarget: cfg.RiskTarget,
+		Workload:   cfg.Workload,
+	}
+}
+
+// nodeSpec resolves node i's spec: the Node hook when set, the
+// homogeneous base otherwise.
+func (cfg Config) nodeSpec(i int) NodeSpec {
+	if cfg.Node != nil {
+		return cfg.Node(i)
+	}
+	return cfg.BaseSpec()
+}
+
+// StreamDefaults returns the arrival-stream shape Run uses when
+// Arrivals is unset: VMs arrivals (3 per node when <= 0) spread over
+// the run's horizon with half-horizon lifetimes. Scenario layers that
+// pre-generate patterned schedules MUST derive their StreamConfig
+// here, so steady and patterned streams can never drift apart.
+func (cfg Config) StreamDefaults() workload.StreamConfig {
+	n := cfg.VMs
+	if n <= 0 {
+		n = 3 * cfg.Nodes
+	}
+	horizon := time.Duration(cfg.Windows) * time.Minute
+	if horizon <= 0 {
+		horizon = time.Minute
+	}
+	return workload.StreamConfig{
+		N:            n,
+		MeanGap:      max(horizon/time.Duration(n+1), time.Minute),
+		MeanLifetime: max(horizon/2, 10*time.Minute),
+		MinLifetime:  10 * time.Minute,
+	}
+}
+
+// ModeChange is a mid-run operating-mode switch.
+type ModeChange struct {
+	Mode       vfr.Mode
+	RiskTarget float64
+}
+
+// Ambient is a mid-run ambient-temperature change.
+type Ambient struct {
+	CPUC, DIMMC float64
+}
+
+// Perturbation is one window's scenario intervention on one node. Nil
+// fields leave the corresponding state untouched; non-nil fields
+// persist until the next perturbation changes them (a workload swap
+// stays swapped until explicitly reverted).
+type Perturbation struct {
+	// Workload swaps the node's guest profile (tenant churn, or a
+	// droop-virus attack when the profile is workload.DroopVirus).
+	Workload *workload.Profile
+	// Mode re-enters the deployment at a different mode/risk point.
+	Mode *ModeChange
+	// Ambient retargets the thermal nodes' environment.
+	Ambient *Ambient
 }
 
 // DefaultConfig returns a paper-shaped fleet: high-performance mode,
@@ -118,12 +226,15 @@ func NodeSeed(seed uint64, i int) uint64 {
 // NodeSummary is one node's contribution to the fleet summary.
 type NodeSummary struct {
 	Name               string
+	Model              string
 	Seed               uint64
 	PredictorAcc       float64
 	Crashes            int
 	Recharacterized    int
 	WindowsAtEOP       int
 	CorrectableMasked  int
+	DRAMCorrected      int
+	MeanCPUTempC       float64
 	EnergySavedWh      float64
 	FinalSafeVoltageMV int
 }
@@ -140,7 +251,11 @@ type Summary struct {
 	Recharacterized   int
 	WindowsAtEOP      int
 	CorrectableMasked int
+	DRAMCorrected     int
 	EnergySavedWh     float64
+	// MeanCPUTempC averages the per-node mean die temperatures (node
+	// order); ambient-temperature scenarios move it.
+	MeanCPUTempC float64
 
 	// Cloud-level aggregates from the manager.
 	Scheduled            int
@@ -155,13 +270,14 @@ type Summary struct {
 	PerNode []NodeSummary
 
 	// Workers and WallClock describe this particular execution; they
-	// are excluded from Fingerprint so summaries can be compared across
-	// worker counts. Realized speedup is measured by running the same
-	// Config at different worker counts and comparing WallClock — never
-	// estimated from goroutine-elapsed times, which oversubscription
-	// inflates.
-	Workers   int
-	WallClock time.Duration
+	// are excluded from Fingerprint — and from JSON, so serialized
+	// reports stay byte-comparable across runs — so summaries can be
+	// compared across worker counts. Realized speedup is measured by
+	// running the same Config at different worker counts and comparing
+	// WallClock — never estimated from goroutine-elapsed times, which
+	// oversubscription inflates.
+	Workers   int           `json:"-"`
+	WallClock time.Duration `json:"-"`
 }
 
 // Fingerprint serializes every deterministic field. Two runs of the
@@ -172,16 +288,17 @@ type Summary struct {
 // the comparison instead of hiding under decimal rounding.
 func (s Summary) Fingerprint() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "nodes=%d windows=%d crashes=%d fallbacks=%d rechar=%d eop=%d corr=%d savedWh=%s\n",
+	fmt.Fprintf(&b, "nodes=%d windows=%d crashes=%d fallbacks=%d rechar=%d eop=%d corr=%d dram=%d savedWh=%s\n",
 		s.Nodes, s.Windows, s.Crashes, s.Fallbacks, s.Recharacterized,
-		s.WindowsAtEOP, s.CorrectableMasked, exactFloat(s.EnergySavedWh))
+		s.WindowsAtEOP, s.CorrectableMasked, s.DRAMCorrected, exactFloat(s.EnergySavedWh))
 	fmt.Fprintf(&b, "sched=%d rej=%d migr=%d sla=%d uf=%d evict=%d kwh=%s avail=%s\n",
 		s.Scheduled, s.Rejected, s.Migrations, s.SLAViolations,
 		s.UserFacingViolations, s.EvictedVMs, exactFloat(s.EnergyKWh), exactFloat(s.MeanAvailability))
 	for _, n := range s.PerNode {
-		fmt.Fprintf(&b, "%s seed=%d acc=%s crashes=%d rechar=%d eop=%d corr=%d savedWh=%s safeMV=%d\n",
-			n.Name, n.Seed, exactFloat(n.PredictorAcc), n.Crashes, n.Recharacterized,
-			n.WindowsAtEOP, n.CorrectableMasked, exactFloat(n.EnergySavedWh), n.FinalSafeVoltageMV)
+		fmt.Fprintf(&b, "%s model=%s seed=%d acc=%s crashes=%d rechar=%d eop=%d corr=%d dram=%d tempC=%s savedWh=%s safeMV=%d\n",
+			n.Name, n.Model, n.Seed, exactFloat(n.PredictorAcc), n.Crashes, n.Recharacterized,
+			n.WindowsAtEOP, n.CorrectableMasked, n.DRAMCorrected, exactFloat(n.MeanCPUTempC),
+			exactFloat(n.EnergySavedWh), n.FinalSafeVoltageMV)
 	}
 	return b.String()
 }
@@ -195,8 +312,9 @@ func exactFloat(f float64) string {
 // nodeState is one node's slot. Workers touch only their own slot
 // between barriers; the coordinator reads all slots after each barrier.
 type nodeState struct {
-	name string
-	seed uint64
+	name  string
+	seed  uint64
+	model string
 
 	eco    *core.Ecosystem
 	dep    *core.Deployment
@@ -240,10 +358,17 @@ func Run(cfg Config) (Summary, error) {
 	// the requested mode and exports the node to the cloud layer.
 	forEachNode(workers, len(states), func(i int) {
 		s := states[i]
+		spec := cfg.nodeSpec(i)
 		opts := core.DefaultOptions()
 		opts.Seed = s.seed
-		opts.Mem = cfg.Mem
+		opts.Mem = spec.Mem
 		opts.HealthLogOut = &s.log
+		opts.AmbientCPUC = spec.AmbientCPUC
+		opts.AmbientDIMMC = spec.AmbientDIMMC
+		if spec.Part.Cores != 0 {
+			opts.SetPart(spec.Part)
+		}
+		s.model = opts.Part.Model
 		eco, err := core.New(opts)
 		if err != nil {
 			s.err = fmt.Errorf("fleet: node %d: %w", i, err)
@@ -254,12 +379,12 @@ func Run(cfg Config) (Summary, error) {
 			s.err = fmt.Errorf("fleet: node %d characterization: %w", i, err)
 			return
 		}
-		dep, err := eco.StartDeployment(cfg.Mode, cfg.RiskTarget, cfg.Workload)
+		dep, err := eco.StartDeployment(spec.Mode, spec.RiskTarget, spec.Workload)
 		if err != nil {
 			s.err = fmt.Errorf("fleet: node %d mode entry: %w", i, err)
 			return
 		}
-		n, err := eco.Node(s.name, cfg.MemBytesPerNode)
+		n, err := eco.Node(s.name, spec.MemBytes)
 		if err != nil {
 			s.err = fmt.Errorf("fleet: node %d export: %w", i, err)
 			return
@@ -300,23 +425,16 @@ func Run(cfg Config) (Summary, error) {
 		return fail(err)
 	}
 
-	// Deterministic VM arrival stream for the scheduler to chew on.
-	nVMs := cfg.VMs
-	if nVMs <= 0 {
-		nVMs = 3 * cfg.Nodes
-	}
-	horizon := time.Duration(cfg.Windows) * time.Minute
-	if horizon <= 0 {
-		horizon = time.Minute
-	}
-	arrivals, err := workload.Stream(workload.StreamConfig{
-		N:            nVMs,
-		MeanGap:      max(horizon/time.Duration(nVMs+1), time.Minute),
-		MeanLifetime: max(horizon/2, 10*time.Minute),
-		MinLifetime:  10 * time.Minute,
-	}, rng.New(cfg.Seed).SplitLabeled("fleet/arrivals"))
-	if err != nil {
-		return fail(err)
+	// Deterministic VM arrival stream for the scheduler to chew on —
+	// an explicit schedule (scenario layers) or the default
+	// exponential stream.
+	arrivals := cfg.Arrivals
+	if arrivals == nil {
+		var err error
+		arrivals, err = workload.Stream(cfg.StreamDefaults(), rng.New(cfg.Seed).SplitLabeled("fleet/arrivals"))
+		if err != nil {
+			return fail(err)
+		}
 	}
 
 	// Phase 3 — barrier-synchronized epochs: all nodes step their
@@ -335,6 +453,24 @@ func Run(cfg Config) (Summary, error) {
 
 		forEachNode(workers, len(states), func(i int) {
 			s := states[i]
+			// Scenario interventions land before the step, on the
+			// node's own worker: Perturb is pure in (i, w) and touches
+			// only node i's state, so the determinism contract holds.
+			if cfg.Perturb != nil {
+				p := cfg.Perturb(i, w)
+				if p.Ambient != nil {
+					s.eco.SetAmbient(p.Ambient.CPUC, p.Ambient.DIMMC)
+				}
+				if p.Workload != nil {
+					s.dep.SetWorkload(*p.Workload)
+				}
+				if p.Mode != nil {
+					if err := s.dep.SwitchMode(p.Mode.Mode, p.Mode.RiskTarget); err != nil {
+						s.err = fmt.Errorf("fleet: node %d window %d mode switch: %w", i, w, err)
+						return
+					}
+				}
+			}
 			rep, err := s.dep.Step()
 			if err != nil {
 				s.err = fmt.Errorf("fleet: node %d window %d: %w", i, w, err)
@@ -382,18 +518,28 @@ func Run(cfg Config) (Summary, error) {
 		sum.Recharacterized += d.Recharacterized
 		sum.WindowsAtEOP += d.WindowsAtEOP
 		sum.CorrectableMasked += d.CorrectableMasked
+		sum.DRAMCorrected += d.DRAMCorrected
 		sum.EnergySavedWh += d.EnergySavedWh
 		sum.PerNode = append(sum.PerNode, NodeSummary{
 			Name:               s.name,
+			Model:              s.model,
 			Seed:               s.seed,
 			PredictorAcc:       s.pre.PredictorAcc,
 			Crashes:            d.Crashes,
 			Recharacterized:    d.Recharacterized,
 			WindowsAtEOP:       d.WindowsAtEOP,
 			CorrectableMasked:  d.CorrectableMasked,
+			DRAMCorrected:      d.DRAMCorrected,
+			MeanCPUTempC:       d.MeanCPUTempC,
 			EnergySavedWh:      d.EnergySavedWh,
 			FinalSafeVoltageMV: d.FinalSafeVoltageMV,
 		})
+	}
+	if len(sum.PerNode) > 0 {
+		for _, n := range sum.PerNode {
+			sum.MeanCPUTempC += n.MeanCPUTempC
+		}
+		sum.MeanCPUTempC /= float64(len(sum.PerNode))
 	}
 	sum.Scheduled = mgr.Scheduled
 	sum.Rejected = mgr.Rejected

@@ -1,0 +1,236 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"uniserver/internal/fleet"
+)
+
+// Result is one grid cell of a campaign: a single (scenario, seed)
+// fleet run. Fingerprint is the full multi-line fleet fingerprint
+// (kept out of the JSON report for size); FingerprintSHA256 is its
+// hash, which is what cross-run comparisons and the CLI print.
+type Result struct {
+	Scenario          string        `json:"scenario"`
+	Seed              uint64        `json:"seed"`
+	Fingerprint       string        `json:"-"`
+	FingerprintSHA256 string        `json:"fingerprint_sha256,omitempty"`
+	Summary           fleet.Summary `json:"summary"`
+	Err               string        `json:"error,omitempty"`
+}
+
+// ScenarioReport aggregates one scenario's row of the grid across all
+// seeds: the comparative metrics the campaign exists to surface, plus
+// a hash over the per-seed fingerprints so an entire scenario row can
+// be compared across hosts or worker counts with one string.
+type ScenarioReport struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description"`
+	Runs        int    `json:"runs"`
+	Failed      int    `json:"failed"`
+
+	// Means across successful seeds.
+	MeanAvailability float64 `json:"mean_availability"`
+	EnergyKWh        float64 `json:"energy_kwh"`
+	EnergySavedWh    float64 `json:"energy_saved_wh"`
+	EOPFraction      float64 `json:"eop_fraction"`
+	MeanCPUTempC     float64 `json:"mean_cpu_temp_c"`
+
+	// Totals across successful seeds.
+	Crashes              int `json:"crashes"`
+	Migrations           int `json:"migrations"`
+	SLAViolations        int `json:"sla_violations"`
+	UserFacingViolations int `json:"user_facing_violations"`
+	Scheduled            int `json:"scheduled"`
+	Rejected             int `json:"rejected"`
+
+	FingerprintSHA256 string `json:"fingerprint_sha256"`
+}
+
+// Report is the machine-readable campaign outcome: every grid cell in
+// scenario-major, seed-minor order, the per-scenario aggregates, and
+// a campaign-level fingerprint hash over the whole grid.
+type Report struct {
+	Seeds             []uint64         `json:"seeds"`
+	Results           []Result         `json:"results"`
+	Scenarios         []ScenarioReport `json:"scenarios"`
+	FingerprintSHA256 string           `json:"fingerprint_sha256"`
+}
+
+// WriteJSON renders the report, indented, to w.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// sha256Hex hashes a fingerprint string for compact comparison.
+func sha256Hex(s string) string {
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:])
+}
+
+// RunScenario executes one scenario at one seed on the given fleet
+// worker count and returns its result. Worker count never changes the
+// fingerprint, only the wall-clock.
+func RunScenario(s Scenario, seed uint64, workers int) (Result, error) {
+	cfg, err := s.FleetConfig(seed)
+	if err != nil {
+		return Result{Scenario: s.Name, Seed: seed, Err: err.Error()}, err
+	}
+	cfg.Workers = workers
+	sum, err := fleet.Run(cfg)
+	if err != nil {
+		return Result{Scenario: s.Name, Seed: seed, Err: err.Error()}, err
+	}
+	fp := sum.Fingerprint()
+	return Result{
+		Scenario:          s.Name,
+		Seed:              seed,
+		Fingerprint:       fp,
+		FingerprintSHA256: sha256Hex(fp),
+		Summary:           sum,
+	}, nil
+}
+
+// Campaign is a scenario×seed sweep.
+type Campaign struct {
+	Scenarios []Scenario
+	Seeds     []uint64
+	// FleetWorkers is the worker count inside each fleet.Run; <= 0
+	// means 1 (run-level parallelism usually saturates the host, and
+	// nested pools only add scheduling noise to wall-clock, never to
+	// results).
+	FleetWorkers int
+	// Parallel bounds how many grid cells run concurrently; <= 0
+	// means GOMAXPROCS.
+	Parallel int
+}
+
+// SmokeCampaign returns the fast all-presets sanity grid used by CI
+// and the -campaign smoke CLI verb: every bundled preset scaled down
+// to `nodes` nodes (<= 0 means 4) and a short horizon, one seed.
+func SmokeCampaign(nodes int) Campaign {
+	if nodes <= 0 {
+		nodes = 4
+	}
+	presets := Presets()
+	scaled := make([]Scenario, len(presets))
+	for i, s := range presets {
+		scaled[i] = s.Scale(nodes, 16)
+	}
+	return Campaign{Scenarios: scaled, Seeds: []uint64{1}}
+}
+
+// RunCampaign fans the scenario×seed grid out across Parallel
+// goroutines (each cell is an independent fleet.Run) and merges the
+// results in grid order — scenario-major, seed-minor — so the Report
+// is deterministic regardless of completion order. The returned error
+// is the first failure in grid order; the Report still carries every
+// cell, including failed ones.
+func RunCampaign(c Campaign) (Report, error) {
+	if len(c.Scenarios) == 0 {
+		return Report{}, fmt.Errorf("scenario: campaign has no scenarios")
+	}
+	if len(c.Seeds) == 0 {
+		return Report{}, fmt.Errorf("scenario: campaign has no seeds")
+	}
+	for _, s := range c.Scenarios {
+		if err := s.Validate(); err != nil {
+			return Report{}, err
+		}
+	}
+	workers := c.FleetWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	parallel := c.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	type cell struct{ si, ki int }
+	grid := make([]cell, 0, len(c.Scenarios)*len(c.Seeds))
+	for si := range c.Scenarios {
+		for ki := range c.Seeds {
+			grid = append(grid, cell{si, ki})
+		}
+	}
+	if parallel > len(grid) {
+		parallel = len(grid)
+	}
+
+	// Fan out: each goroutine writes only its own grid slots, results
+	// land in grid order whatever the completion order.
+	results := make([]Result, len(grid))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for p := 0; p < parallel; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range jobs {
+				g := grid[gi]
+				res, _ := RunScenario(c.Scenarios[g.si], c.Seeds[g.ki], workers)
+				results[gi] = res
+			}
+		}()
+	}
+	for gi := range grid {
+		jobs <- gi
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Merge in grid order.
+	rep := Report{Seeds: append([]uint64(nil), c.Seeds...), Results: results}
+	var firstErr error
+	allFPs := ""
+	for si, s := range c.Scenarios {
+		sr := ScenarioReport{Scenario: s.Name, Description: s.Description}
+		rowFPs := ""
+		for ki := range c.Seeds {
+			res := results[si*len(c.Seeds)+ki]
+			sr.Runs++
+			if res.Err != "" {
+				sr.Failed++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("scenario %s seed %d: %s", res.Scenario, res.Seed, res.Err)
+				}
+				continue
+			}
+			rowFPs += res.Fingerprint
+			sum := res.Summary
+			sr.MeanAvailability += sum.MeanAvailability
+			sr.EnergyKWh += sum.EnergyKWh
+			sr.EnergySavedWh += sum.EnergySavedWh
+			sr.MeanCPUTempC += sum.MeanCPUTempC
+			if sum.Nodes*sum.Windows > 0 {
+				sr.EOPFraction += float64(sum.WindowsAtEOP) / float64(sum.Nodes*sum.Windows)
+			}
+			sr.Crashes += sum.Crashes
+			sr.Migrations += sum.Migrations
+			sr.SLAViolations += sum.SLAViolations
+			sr.UserFacingViolations += sum.UserFacingViolations
+			sr.Scheduled += sum.Scheduled
+			sr.Rejected += sum.Rejected
+		}
+		if ok := sr.Runs - sr.Failed; ok > 0 {
+			sr.MeanAvailability /= float64(ok)
+			sr.EnergyKWh /= float64(ok)
+			sr.EnergySavedWh /= float64(ok)
+			sr.EOPFraction /= float64(ok)
+			sr.MeanCPUTempC /= float64(ok)
+		}
+		sr.FingerprintSHA256 = sha256Hex(rowFPs)
+		allFPs += rowFPs
+		rep.Scenarios = append(rep.Scenarios, sr)
+	}
+	rep.FingerprintSHA256 = sha256Hex(allFPs)
+	return rep, firstErr
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"uniserver/internal/vfr"
+)
+
+// Baseline is the reference operating point every other scenario is
+// compared against: a homogeneous fleet at the paper's
+// high-performance EOP under a steady tenant stream.
+func Baseline() Scenario {
+	return Scenario{
+		Name:        "baseline",
+		Description: "homogeneous fleet, high-performance EOP, steady arrivals",
+		Nodes:       8,
+		Windows:     120,
+		Mode:        vfr.ModeHighPerformance,
+		RiskTarget:  0.01,
+	}
+}
+
+// DiurnalBurst models bursty tenants: a deep diurnal arrival swing
+// with an onboarding wave at the afternoon peak, against twice the
+// baseline VM pressure.
+func DiurnalBurst() Scenario {
+	s := Baseline()
+	s.Name = "diurnal-burst"
+	s.Description = "bursty tenants: diurnal arrival swing plus a 4x onboarding wave"
+	s.Windows = 180
+	s.VMs = 6 * s.Nodes
+	s.Arrival = ArrivalModel{
+		DiurnalDepth:  0.8,
+		PeriodWindows: 90,
+		BurstStart:    110,
+		BurstWindows:  20,
+		BurstFactor:   4,
+	}
+	return s
+}
+
+// HeteroBins models heterogeneous silicon: the fleet alternates
+// between the low-end mobile bin and the high-end desktop bin of
+// Table 2, so per-node margins, ECC exposure and power all differ.
+func HeteroBins() Scenario {
+	s := Baseline()
+	s.Name = "hetero-bins"
+	s.Description = "heterogeneous silicon: i5-4200U and i7-3970X bins interleaved"
+	s.Bins = []string{"i5-4200U", "i7-3970X"}
+	return s
+}
+
+// ThermalSummer models a hot machine room: elevated seasonal
+// ambients with a diurnal swing and a mid-run heatwave, squeezing
+// DRAM retention and leakage power.
+func ThermalSummer() Scenario {
+	s := Baseline()
+	s.Name = "thermal-summer"
+	s.Description = "hot season: 38°C ambient, diurnal swing, +18°C heatwave mid-run"
+	s.Ambient = AmbientModel{
+		BaseCPUC:      38,
+		BaseDIMMC:     44,
+		SwingC:        8,
+		PeriodWindows: 60,
+		HeatStart:     60,
+		HeatWindows:   24,
+		HeatDeltaC:    18,
+	}
+	return s
+}
+
+// ModeChurn models an operator moving the fleet between regimes as
+// demand shifts: everyone drops to low-power a third of the way in,
+// then returns to high-performance for the final third.
+func ModeChurn() Scenario {
+	s := Baseline()
+	s.Name = "mode-churn"
+	s.Description = "mid-run regime shifts: fleet-wide low-power dip, then back to high-performance"
+	s.ModeSwitches = []ModeSwitch{
+		{Window: 40, Node: -1, Mode: vfr.ModeLowPower, RiskTarget: 0.02},
+		{Window: 80, Node: -1, Mode: vfr.ModeHighPerformance, RiskTarget: 0.01},
+	}
+	return s
+}
+
+// DroopAttack models the security analysis' availability attack: two
+// nodes host a droop-virus guest for a span of windows while the
+// fleet runs at a deep (risk 0.02) operating point.
+func DroopAttack() Scenario {
+	s := Baseline()
+	s.Name = "droop-attack"
+	s.Description = "droop-virus guests on two nodes at a deep EOP (availability attack)"
+	s.RiskTarget = 0.02
+	s.Attacks = []Attack{
+		{Node: 0, Window: 40, Windows: 30},
+		{Node: 3, Window: 40, Windows: 30},
+	}
+	return s
+}
+
+// Presets returns the bundled scenario catalogue, sorted by name.
+func Presets() []Scenario {
+	out := []Scenario{
+		Baseline(),
+		DiurnalBurst(),
+		HeteroBins(),
+		ThermalSummer(),
+		ModeChurn(),
+		DroopAttack(),
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the preset names in catalogue order.
+func Names() []string {
+	ps := Presets()
+	names := make([]string, len(ps))
+	for i, s := range ps {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Scenario, error) {
+	for _, s := range Presets() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown preset %q (known: %v)", name, Names())
+}

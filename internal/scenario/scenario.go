@@ -1,0 +1,408 @@
+// Package scenario is the declarative campaign layer over the
+// concurrent fleet runtime: a Scenario names one reproducible fleet
+// experiment — silicon-bin mix, ambient temperature model, VM arrival
+// pattern, scheduled mode switches, droop-attack injections — and a
+// campaign fans a scenario×seed grid out across fleet.Run invocations
+// in parallel, merging the per-run Summary fingerprints and
+// comparative metrics into a machine-readable Report.
+//
+// Scenarios are data, not code: every field is a plain value, and the
+// compiler (FleetConfig) lowers them onto the fleet engine's pure
+// per-node and per-window hooks. The determinism contract therefore
+// carries over unchanged — the same (scenario, seed) pair produces a
+// byte-identical fleet fingerprint at any worker count and any
+// campaign parallelism, which is what lets independent runs be
+// compared against each other at all.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"uniserver/internal/cpu"
+	"uniserver/internal/fleet"
+	"uniserver/internal/rng"
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+// Scenario declaratively describes one fleet experiment. The zero
+// value of every optional field means "the baseline behaviour", so a
+// Scenario is exactly the diff between the experiment and the plain
+// homogeneous fleet.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Nodes, Windows and VMs size the experiment. VMs <= 0 means the
+	// fleet default (3 per node).
+	Nodes   int
+	Windows int
+	VMs     int
+
+	// Mode and RiskTarget are the fleet-wide initial operating point.
+	Mode       vfr.Mode
+	RiskTarget float64
+
+	// Bins assigns silicon bins round-robin across nodes by part
+	// model name (see PartNames). Empty means a homogeneous fleet of
+	// the default part.
+	Bins []string
+
+	// Ambient is the environment model (seasonal base, diurnal swing,
+	// heatwave). The zero value is a constant air-conditioned room.
+	Ambient AmbientModel
+
+	// Arrival shapes the VM arrival pattern. The zero value is the
+	// steady exponential stream.
+	Arrival ArrivalModel
+
+	// ModeSwitches are scheduled mid-run operating-mode changes.
+	ModeSwitches []ModeSwitch
+
+	// Attacks are droop-virus injections: a malicious guest profile
+	// replaces the node's workload for a span of windows.
+	Attacks []Attack
+}
+
+// AmbientModel is a pure function of the window index: a seasonal
+// base, an optional diurnal sinusoid, and an optional heatwave step.
+type AmbientModel struct {
+	// BaseCPUC / BaseDIMMC are the resting ambients; zero means the
+	// core defaults (28 / 34 °C).
+	BaseCPUC  float64
+	BaseDIMMC float64
+	// SwingC is the diurnal half-amplitude added as a sinusoid with
+	// the given period (in windows). SwingC 0 disables the swing.
+	SwingC        float64
+	PeriodWindows int
+	// HeatStart/HeatWindows/HeatDeltaC describe a heatwave: DeltaC is
+	// added to both ambients for windows [HeatStart, HeatStart+HeatWindows).
+	HeatStart   int
+	HeatWindows int
+	HeatDeltaC  float64
+}
+
+// static reports whether the model never changes after window 0.
+func (a AmbientModel) static() bool {
+	return a.SwingC == 0 && a.HeatWindows == 0
+}
+
+// At returns the ambient pair for window w.
+func (a AmbientModel) At(w int) (cpuC, dimmC float64) {
+	cpuC, dimmC = a.BaseCPUC, a.BaseDIMMC
+	if cpuC == 0 {
+		cpuC = 28
+	}
+	if dimmC == 0 {
+		dimmC = 34
+	}
+	if a.SwingC != 0 && a.PeriodWindows > 0 {
+		s := a.SwingC * math.Sin(2*math.Pi*float64(w)/float64(a.PeriodWindows))
+		cpuC += s
+		dimmC += s
+	}
+	if w >= a.HeatStart && w < a.HeatStart+a.HeatWindows {
+		cpuC += a.HeatDeltaC
+		dimmC += a.HeatDeltaC
+	}
+	return cpuC, dimmC
+}
+
+// ArrivalModel shapes the VM arrival intensity over time. Diurnal and
+// burst components compose multiplicatively; the zero value is the
+// steady stream.
+type ArrivalModel struct {
+	// DiurnalDepth in [0,1) oscillates the rate sinusoidally with
+	// PeriodWindows; 0 disables.
+	DiurnalDepth  float64
+	PeriodWindows int
+	// BurstFactor multiplies the rate inside [BurstStart,
+	// BurstStart+BurstWindows); 0 disables.
+	BurstStart   int
+	BurstWindows int
+	BurstFactor  float64
+}
+
+// steady reports whether the model is the plain exponential stream.
+func (m ArrivalModel) steady() bool {
+	return m.DiurnalDepth == 0 && m.BurstFactor == 0
+}
+
+// rate compiles the model into a workload.RateFn (windows are one
+// simulated minute each).
+func (m ArrivalModel) rate() workload.RateFn {
+	diurnal := workload.SteadyRate()
+	if m.DiurnalDepth != 0 && m.PeriodWindows > 0 {
+		diurnal = workload.DiurnalRate(time.Duration(m.PeriodWindows)*time.Minute, m.DiurnalDepth)
+	}
+	burst := workload.SteadyRate()
+	if m.BurstFactor != 0 {
+		burst = workload.BurstRate(time.Duration(m.BurstStart)*time.Minute,
+			time.Duration(m.BurstWindows)*time.Minute, m.BurstFactor)
+	}
+	return func(at time.Duration) float64 { return diurnal(at) * burst(at) }
+}
+
+// ModeSwitch schedules a mid-run operating-mode change.
+type ModeSwitch struct {
+	// Window is when the switch lands (before that window steps).
+	Window int
+	// Node selects the target node; -1 means every node.
+	Node       int
+	Mode       vfr.Mode
+	RiskTarget float64
+}
+
+// Attack is one droop-virus injection: node Node runs the
+// workload.DroopVirus profile for Windows windows starting at Window,
+// then reverts to its scenario workload.
+type Attack struct {
+	Node    int
+	Window  int
+	Windows int
+}
+
+// PartNames lists the silicon bins Bins may name.
+func PartNames() []string { return []string{"i5-4200U", "i7-3970X"} }
+
+// partByName resolves a bin name to its part spec.
+func partByName(name string) (cpu.PartSpec, error) {
+	switch name {
+	case "i5-4200U":
+		return cpu.PartI5_4200U(), nil
+	case "i7-3970X":
+		return cpu.PartI7_3970X(), nil
+	}
+	return cpu.PartSpec{}, fmt.Errorf("scenario: unknown silicon bin %q (known: %v)", name, PartNames())
+}
+
+// Validate reports declaration errors.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("scenario %s: need at least one node", s.Name)
+	}
+	if s.Windows <= 0 {
+		return fmt.Errorf("scenario %s: need at least one window", s.Name)
+	}
+	if s.RiskTarget <= 0 || s.RiskTarget >= 1 {
+		return fmt.Errorf("scenario %s: risk target %g outside (0,1)", s.Name, s.RiskTarget)
+	}
+	for _, b := range s.Bins {
+		if _, err := partByName(b); err != nil {
+			return err
+		}
+	}
+	// Reject declarations whose periodic features are silently dead:
+	// a depth or swing without a period would validate, compile to a
+	// no-op, and make the experiment measure nothing.
+	if s.Ambient.SwingC != 0 && s.Ambient.PeriodWindows <= 0 {
+		return fmt.Errorf("scenario %s: ambient swing needs a positive PeriodWindows", s.Name)
+	}
+	if s.Ambient.HeatDeltaC != 0 && s.Ambient.HeatWindows <= 0 {
+		return fmt.Errorf("scenario %s: heatwave needs a positive HeatWindows", s.Name)
+	}
+	if s.Arrival.DiurnalDepth != 0 && s.Arrival.PeriodWindows <= 0 {
+		return fmt.Errorf("scenario %s: diurnal arrivals need a positive PeriodWindows", s.Name)
+	}
+	if s.Arrival.DiurnalDepth < 0 || s.Arrival.DiurnalDepth >= 1 {
+		return fmt.Errorf("scenario %s: diurnal depth %g outside [0,1)", s.Name, s.Arrival.DiurnalDepth)
+	}
+	if s.Arrival.BurstFactor != 0 && s.Arrival.BurstWindows <= 0 {
+		return fmt.Errorf("scenario %s: arrival burst needs a positive BurstWindows", s.Name)
+	}
+	for _, sw := range s.ModeSwitches {
+		if sw.Window < 0 || sw.Window >= s.Windows {
+			return fmt.Errorf("scenario %s: mode switch window %d outside [0,%d)", s.Name, sw.Window, s.Windows)
+		}
+		if sw.Node < -1 || sw.Node >= s.Nodes {
+			return fmt.Errorf("scenario %s: mode switch node %d outside [-1,%d)", s.Name, sw.Node, s.Nodes)
+		}
+		if sw.RiskTarget <= 0 || sw.RiskTarget >= 1 {
+			return fmt.Errorf("scenario %s: mode switch risk %g outside (0,1)", s.Name, sw.RiskTarget)
+		}
+	}
+	for _, at := range s.Attacks {
+		if at.Node < 0 || at.Node >= s.Nodes {
+			return fmt.Errorf("scenario %s: attack node %d outside [0,%d)", s.Name, at.Node, s.Nodes)
+		}
+		if at.Window < 0 || at.Window >= s.Windows {
+			return fmt.Errorf("scenario %s: attack window %d outside [0,%d)", s.Name, at.Window, s.Windows)
+		}
+		if at.Windows <= 0 {
+			return fmt.Errorf("scenario %s: attack duration must be positive", s.Name)
+		}
+	}
+	return nil
+}
+
+// Scale returns a copy resized to the given node and window counts,
+// with every window-indexed feature (mode switches, attacks, ambient
+// phases, bursts) remapped proportionally and out-of-range node
+// references clamped. It is how one preset serves both the full-size
+// CLI run and the fast CI/test smoke grid without divergent
+// declarations.
+func (s Scenario) Scale(nodes, windows int) Scenario {
+	if nodes <= 0 {
+		nodes = s.Nodes
+	}
+	if windows <= 0 {
+		windows = s.Windows
+	}
+	remapW := func(w int) int {
+		if s.Windows == 0 {
+			return 0
+		}
+		nw := w * windows / s.Windows
+		if nw >= windows {
+			nw = windows - 1
+		}
+		return nw
+	}
+	remapSpan := func(n int) int {
+		if s.Windows == 0 {
+			return 0
+		}
+		nn := n * windows / s.Windows
+		if n > 0 && nn < 1 {
+			nn = 1
+		}
+		return nn
+	}
+	out := s
+	out.Nodes = nodes
+	out.Windows = windows
+	if s.VMs > 0 && s.Nodes > 0 {
+		out.VMs = max(1, s.VMs*nodes/s.Nodes)
+	}
+	out.Ambient.PeriodWindows = remapSpan(s.Ambient.PeriodWindows)
+	out.Ambient.HeatStart = remapW(s.Ambient.HeatStart)
+	out.Ambient.HeatWindows = remapSpan(s.Ambient.HeatWindows)
+	out.Arrival.PeriodWindows = remapSpan(s.Arrival.PeriodWindows)
+	out.Arrival.BurstStart = remapW(s.Arrival.BurstStart)
+	out.Arrival.BurstWindows = remapSpan(s.Arrival.BurstWindows)
+	out.ModeSwitches = make([]ModeSwitch, len(s.ModeSwitches))
+	for i, sw := range s.ModeSwitches {
+		sw.Window = remapW(sw.Window)
+		if sw.Node >= nodes {
+			sw.Node = nodes - 1
+		}
+		out.ModeSwitches[i] = sw
+	}
+	out.Attacks = make([]Attack, len(s.Attacks))
+	for i, at := range s.Attacks {
+		at.Window = remapW(at.Window)
+		at.Windows = remapSpan(at.Windows)
+		if at.Node >= nodes {
+			at.Node = nodes - 1
+		}
+		out.Attacks[i] = at
+	}
+	return out
+}
+
+// pertKey addresses one (node, window) perturbation.
+type pertKey struct{ i, w int }
+
+// FleetConfig compiles the scenario into a fleet.Config for the given
+// seed. Every hook it installs is a pure function of (node index,
+// window index) over data frozen here, so the fleet engine's
+// determinism guarantee — byte-identical fingerprints at any worker
+// count — holds for every scenario.
+func (s Scenario) FleetConfig(seed uint64) (fleet.Config, error) {
+	if err := s.Validate(); err != nil {
+		return fleet.Config{}, err
+	}
+	cfg := fleet.DefaultConfig(s.Nodes)
+	cfg.Seed = seed
+	cfg.Windows = s.Windows
+	cfg.VMs = s.VMs
+	cfg.Mode = s.Mode
+	cfg.RiskTarget = s.RiskTarget
+
+	// Per-node specs: silicon bins round-robin, window-0 ambient.
+	bins := make([]cpu.PartSpec, len(s.Bins))
+	for i, b := range s.Bins {
+		p, err := partByName(b)
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		bins[i] = p
+	}
+	base := cfg.BaseSpec()
+	amb0CPU, amb0DIMM := s.Ambient.At(0)
+	cfg.Node = func(i int) fleet.NodeSpec {
+		spec := base
+		if len(bins) > 0 {
+			spec.Part = bins[i%len(bins)]
+		}
+		spec.AmbientCPUC, spec.AmbientDIMMC = amb0CPU, amb0DIMM
+		return spec
+	}
+
+	// Arrival pattern: steady scenarios keep the fleet default stream
+	// (same source label, same draws — byte-identical), patterned ones
+	// pre-generate the schedule here.
+	if !s.Arrival.steady() {
+		arrivals, err := workload.PatternedStream(cfg.StreamDefaults(),
+			s.Arrival.rate(), rng.New(seed).SplitLabeled("fleet/arrivals"))
+		if err != nil {
+			return fleet.Config{}, err
+		}
+		cfg.Arrivals = arrivals
+	}
+
+	// Scheduled interventions, expanded into a read-only (node,
+	// window) table the hook indexes. Attacks install the droop-virus
+	// profile at their start window and revert to the node's scenario
+	// workload one window past their end.
+	pert := make(map[pertKey]fleet.Perturbation)
+	for _, sw := range s.ModeSwitches {
+		lo, hi := sw.Node, sw.Node+1
+		if sw.Node == -1 {
+			lo, hi = 0, s.Nodes
+		}
+		for i := lo; i < hi; i++ {
+			p := pert[pertKey{i, sw.Window}]
+			p.Mode = &fleet.ModeChange{Mode: sw.Mode, RiskTarget: sw.RiskTarget}
+			pert[pertKey{i, sw.Window}] = p
+		}
+	}
+	virus := workload.DroopVirus()
+	for _, at := range s.Attacks {
+		p := pert[pertKey{at.Node, at.Window}]
+		p.Workload = &virus
+		pert[pertKey{at.Node, at.Window}] = p
+		if end := at.Window + at.Windows; end < s.Windows {
+			wl := base.Workload
+			p := pert[pertKey{at.Node, end}]
+			p.Workload = &wl
+			pert[pertKey{at.Node, end}] = p
+		}
+	}
+
+	// Ambient trajectory, precomputed per window when dynamic.
+	var ambient []fleet.Ambient
+	if !s.Ambient.static() {
+		ambient = make([]fleet.Ambient, s.Windows)
+		for w := 0; w < s.Windows; w++ {
+			c, d := s.Ambient.At(w)
+			ambient[w] = fleet.Ambient{CPUC: c, DIMMC: d}
+		}
+	}
+
+	if len(pert) > 0 || ambient != nil {
+		cfg.Perturb = func(i, w int) fleet.Perturbation {
+			p := pert[pertKey{i, w}]
+			if ambient != nil {
+				p.Ambient = &ambient[w]
+			}
+			return p
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"uniserver/internal/fleet"
+)
+
+// testSize keeps runs fast: presets scale down to this grid for the
+// determinism sweeps.
+const (
+	testNodes   = 3
+	testWindows = 12
+)
+
+// TestPresetDeterminismAcrossWorkerCounts is the scenario layer's
+// inherited contract: every bundled preset, compiled through
+// FleetConfig, must produce byte-identical fleet fingerprints at 1, 4
+// and 8 workers. Run with -race to also check the perturbation hooks
+// are applied without data races.
+func TestPresetDeterminismAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	for _, preset := range Presets() {
+		preset := preset
+		t.Run(preset.Name, func(t *testing.T) {
+			t.Parallel()
+			s := preset.Scale(testNodes, testWindows)
+			var want string
+			for _, workers := range []int{1, 4, 8} {
+				res, err := RunScenario(s, 11, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if want == "" {
+					want = res.Fingerprint
+					continue
+				}
+				if res.Fingerprint != want {
+					t.Fatalf("fingerprint diverged at workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+						workers, want, workers, res.Fingerprint)
+				}
+			}
+		})
+	}
+}
+
+// TestBaselineEqualsPlainFleet pins the compiler's floor: the
+// baseline scenario is exactly the plain homogeneous fleet — same
+// stream labels, same ambient defaults — so its fingerprint must
+// equal a hand-built fleet.DefaultConfig run.
+func TestBaselineEqualsPlainFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	s := Baseline().Scale(2, 8)
+	res, err := RunScenario(s, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleet.DefaultConfig(2)
+	cfg.Windows = 8
+	cfg.Seed = 5
+	cfg.Mode = s.Mode
+	cfg.RiskTarget = s.RiskTarget
+	sum, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint != sum.Fingerprint() {
+		t.Fatalf("baseline scenario diverged from the plain fleet:\n--- scenario ---\n%s--- fleet ---\n%s",
+			res.Fingerprint, sum.Fingerprint())
+	}
+}
+
+// TestCampaignDeterministicAcrossParallelism runs the same small grid
+// at two campaign parallelism levels and requires identical reports
+// (cell order, aggregates, fingerprints).
+func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	grid := Campaign{
+		Scenarios: []Scenario{
+			Baseline().Scale(2, 8),
+			DroopAttack().Scale(2, 8),
+		},
+		Seeds: []uint64{3, 9},
+	}
+	run := func(parallel int) Report {
+		c := grid
+		c.Parallel = parallel
+		rep, err := RunCampaign(c)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return rep
+	}
+	seq, par := run(1), run(4)
+	if seq.FingerprintSHA256 != par.FingerprintSHA256 {
+		t.Fatalf("campaign fingerprint diverged: %s vs %s", seq.FingerprintSHA256, par.FingerprintSHA256)
+	}
+	for i := range seq.Results {
+		if seq.Results[i].Fingerprint != par.Results[i].Fingerprint {
+			t.Fatalf("grid cell %d (%s seed %d) diverged across parallelism",
+				i, seq.Results[i].Scenario, seq.Results[i].Seed)
+		}
+	}
+}
+
+// TestScenarioEffectsObservable checks each scenario lever actually
+// reaches the simulation: hetero bins change the per-node part model,
+// and a droop attack produces at least as many crashes as the same
+// fleet without it.
+func TestScenarioEffectsObservable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	hetero := HeteroBins().Scale(2, 6)
+	res, err := RunScenario(hetero, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]bool{}
+	for _, n := range res.Summary.PerNode {
+		models[n.Model] = true
+	}
+	if len(models) < 2 {
+		t.Fatalf("hetero-bins fleet has homogeneous models: %v", models)
+	}
+
+	attacked := DroopAttack().Scale(2, 16)
+	clean := attacked
+	clean.Attacks = nil
+	resAtt, err := RunScenario(attacked, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resClean, err := RunScenario(clean, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAtt.Summary.Crashes < resClean.Summary.Crashes {
+		t.Fatalf("droop attack reduced crashes: %d with attack vs %d without",
+			resAtt.Summary.Crashes, resClean.Summary.Crashes)
+	}
+	if resAtt.Fingerprint == resClean.Fingerprint {
+		t.Fatal("attack scenario is indistinguishable from the clean run")
+	}
+}
+
+// TestScaleKeepsDeclarationsValid scales every preset to several
+// (nodes, windows) grids and requires the result to still validate —
+// remapped switches, attacks and phases must stay in range.
+func TestScaleKeepsDeclarationsValid(t *testing.T) {
+	for _, preset := range Presets() {
+		for _, size := range [][2]int{{1, 1}, {2, 5}, {4, 16}, {16, 400}} {
+			s := preset.Scale(size[0], size[1])
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s scaled to %v: %v", preset.Name, size, err)
+			}
+		}
+	}
+}
+
+// TestValidateRejectsBadDeclarations spot-checks the validator.
+func TestValidateRejectsBadDeclarations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+	}{
+		{"zero nodes", func(s *Scenario) { s.Nodes = 0 }},
+		{"zero windows", func(s *Scenario) { s.Windows = 0 }},
+		{"risk out of range", func(s *Scenario) { s.RiskTarget = 1.5 }},
+		{"unknown bin", func(s *Scenario) { s.Bins = []string{"z80"} }},
+		{"switch window out of range", func(s *Scenario) {
+			s.ModeSwitches = []ModeSwitch{{Window: s.Windows, Node: -1, RiskTarget: 0.01}}
+		}},
+		{"attack node out of range", func(s *Scenario) {
+			s.Attacks = []Attack{{Node: s.Nodes, Window: 0, Windows: 1}}
+		}},
+	}
+	for _, c := range cases {
+		s := Baseline()
+		c.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the declaration", c.name)
+		}
+	}
+}
+
+// TestByName covers the registry surface.
+func TestByName(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("want at least 5 presets, got %d: %v", len(names), names)
+	}
+	for _, n := range names {
+		s, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != n {
+			t.Fatalf("ByName(%q) returned %q", n, s.Name)
+		}
+	}
+	if _, err := ByName("no-such-scenario"); err == nil {
+		t.Fatal("ByName accepted an unknown name")
+	}
+}
+
+// TestReportJSONRoundTrips checks the report is machine-readable: it
+// marshals, unmarshals, and keeps the grid intact.
+func TestReportJSONRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	rep, err := RunCampaign(Campaign{
+		Scenarios: []Scenario{Baseline().Scale(2, 4)},
+		Seeds:     []uint64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\"Fingerprint\":") {
+		t.Fatal("full fingerprints leaked into the JSON report")
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Results) != 2 || len(back.Scenarios) != 1 {
+		t.Fatalf("round-tripped grid shape wrong: %d results, %d scenarios",
+			len(back.Results), len(back.Scenarios))
+	}
+	if back.FingerprintSHA256 != rep.FingerprintSHA256 {
+		t.Fatal("campaign fingerprint changed across the round trip")
+	}
+}

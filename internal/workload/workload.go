@@ -9,6 +9,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"uniserver/internal/rng"
@@ -111,6 +112,23 @@ func BatchAnalytics() Profile {
 	}
 }
 
+// DroopVirus returns a malicious guest executing a voltage-noise
+// virus: maximal di/dt excitation at high activity, the availability
+// attack of the security analysis. A host running at a deep extended
+// operating point can be pushed past its crash voltage by this
+// profile; scenario layers inject it to measure the blast radius.
+func DroopVirus() Profile {
+	return Profile{
+		Name:           "droop-virus",
+		CPUActivity:    0.95,
+		DroopIntensity: 0.98,
+		MemTargetBytes: 256 << 20,
+		RampWindows:    1,
+		DiskIOPS:       50,
+		NetMbps:        10,
+	}
+}
+
 // Profiles returns the built-in profile catalogue.
 func Profiles() []Profile {
 	return []Profile{LDBCSocialNetwork(), IoTEdgeAnalytics(), WebFrontend(), BatchAnalytics()}
@@ -171,8 +189,57 @@ func DefaultStreamConfig() StreamConfig {
 // Stream generates a deterministic arrival stream: VM specs cycle
 // through the profile catalogue with exponential inter-arrival gaps
 // and lifetimes ("real-world scenarios where OpenStack would manage
-// streams of incoming and terminating VMs").
+// streams of incoming and terminating VMs"). It is PatternedStream at
+// the constant base rate — same draws, same gaps.
 func Stream(cfg StreamConfig, src *rng.Source) ([]Arrival, error) {
+	return PatternedStream(cfg, nil, src)
+}
+
+// RateFn modulates an arrival stream's instantaneous intensity: it
+// returns a multiplier on the base arrival rate at offset `at` from
+// stream start. 1 is the base rate, 4 is a 4x burst, values are
+// clamped below at 0.05 so a quiet phase slows arrivals rather than
+// stopping time. A RateFn must be a pure function of `at` — the
+// determinism contract of every stream consumer depends on it.
+type RateFn func(at time.Duration) float64
+
+// SteadyRate is the identity pattern: a constant-rate Poisson stream,
+// identical to Stream.
+func SteadyRate() RateFn {
+	return func(time.Duration) float64 { return 1 }
+}
+
+// DiurnalRate oscillates the arrival rate sinusoidally around 1 with
+// the given period: rate(t) = 1 + depth*sin(2πt/period). depth in
+// [0,1) keeps the rate positive; the peak-to-trough ratio is
+// (1+depth)/(1-depth).
+func DiurnalRate(period time.Duration, depth float64) RateFn {
+	return func(at time.Duration) float64 {
+		return 1 + depth*math.Sin(2*math.Pi*float64(at)/float64(period))
+	}
+}
+
+// BurstRate multiplies the base rate by `factor` inside the window
+// [start, start+width) — a tenant onboarding wave or a load spike.
+func BurstRate(start, width time.Duration, factor float64) RateFn {
+	return func(at time.Duration) float64 {
+		if at >= start && at < start+width {
+			return factor
+		}
+		return 1
+	}
+}
+
+// PatternedStream generates a deterministic arrival stream whose
+// instantaneous rate is the base rate (1/MeanGap) scaled by the
+// pattern: the i-th inter-arrival gap is an exponential draw divided
+// by rate(at). With SteadyRate it degenerates to Stream's arithmetic
+// exactly (same draws, same gaps), so a steady scenario and a plain
+// stream with the same source are byte-identical.
+func PatternedStream(cfg StreamConfig, rate RateFn, src *rng.Source) ([]Arrival, error) {
+	if rate == nil {
+		rate = SteadyRate()
+	}
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("workload: stream N must be positive")
 	}
@@ -199,7 +266,11 @@ func Stream(cfg StreamConfig, src *rng.Source) ([]Arrival, error) {
 			},
 			Lifetime: life,
 		})
-		at += time.Duration(src.Exponential(1) * float64(cfg.MeanGap))
+		r := rate(at)
+		if r < 0.05 {
+			r = 0.05
+		}
+		at += time.Duration(src.Exponential(1) * float64(cfg.MeanGap) / r)
 	}
 	return arrivals, nil
 }
