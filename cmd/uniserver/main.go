@@ -63,6 +63,8 @@ func run() error {
 	campaignSpec := flag.String("campaign", "",
 		"run a scenario campaign: 'smoke', 'all', or comma-separated preset names; grid is scenarios x -seeds")
 	seedCount := flag.Int("seeds", 1, "campaign: seeds per scenario (seed, seed+1, ...)")
+	parallel := flag.Int("parallel", 0,
+		"campaign: concurrent grid cells (0 = GOMAXPROCS); workers pull cells as they free up, results stay in grid order")
 	reportPath := flag.String("report", "", "campaign: write the machine-readable JSON report to this file")
 	flag.Parse()
 
@@ -128,6 +130,9 @@ func run() error {
 	if set["seeds"] && *campaignSpec == "" {
 		return fmt.Errorf("-seeds only applies to -campaign; use -seed for a single run")
 	}
+	if set["parallel"] && *campaignSpec == "" {
+		return fmt.Errorf("-parallel only applies to -campaign; use -workers for a single fleet run")
+	}
 
 	// The health log must be closed (flushing the JSON lines) on every
 	// exit path, including errors — hence the run()/error shape instead
@@ -173,7 +178,7 @@ func run() error {
 			return err
 		}
 	case *campaignSpec != "":
-		if err := runCampaign(*campaignSpec, nodesOverride, windowsOverride, *seed, *seedCount, *workers, *reportPath); err != nil {
+		if err := runCampaign(*campaignSpec, nodesOverride, windowsOverride, *seed, *seedCount, *workers, *parallel, *reportPath); err != nil {
 			return err
 		}
 	case *nodes > 1:
@@ -234,7 +239,7 @@ func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, w
 
 // runCampaign assembles the requested scenario×seed grid, fans it out
 // in parallel, and prints the comparative table.
-func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, seedCount, workers int, reportPath string) error {
+func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, seedCount, workers, parallel int, reportPath string) error {
 	if seedCount <= 0 {
 		return fmt.Errorf("-seeds must be positive")
 	}
@@ -267,9 +272,10 @@ func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, s
 		camp.Seeds = append(camp.Seeds, seed+uint64(i))
 	}
 	camp.FleetWorkers = workers
+	camp.Parallel = parallel
 
 	fmt.Printf("== campaign: %d scenarios x %d seeds (%d cells, %d-way parallel) ==\n",
-		len(camp.Scenarios), len(camp.Seeds), len(camp.Scenarios)*len(camp.Seeds), runtime.GOMAXPROCS(0))
+		len(camp.Scenarios), len(camp.Seeds), len(camp.Scenarios)*len(camp.Seeds), camp.EffectiveParallel())
 	start := time.Now()
 	rep, err := scenario.RunCampaign(camp)
 	if err != nil {

@@ -108,7 +108,31 @@ type Ecosystem struct {
 	cpuTherm *thermal.Node
 	memTherm *thermal.Node
 	trip     thermal.Trip
+
+	// Worst-CPU-margin cache, recomputed whenever a characterization
+	// campaign installs a table (setTable). The published table is
+	// treated as immutable, so the per-window and per-mode-entry paths
+	// read the cache instead of re-scanning the table's components.
+	worstComp   string
+	worstMargin vfr.Margin
+
+	// Per-window scratch state, owned by RuntimeWindow. None of it is
+	// observable between windows; it exists so steady-state stepping
+	// does not allocate (see DESIGN.md "Performance").
+	coreNames []string       // precomputed "model/coreN" component names
+	dramSrc   rng.Source     // reseeded child stream for the DRAM window
+	dramHits  map[string]int // owner → errors, cleared every window
+	curCore   int            // core sampled this window, read by coreOf
+	coreOf    func(string) int
 }
+
+// dramwinLabel is the hoisted stream label of the per-window DRAM
+// sample (stream-identical to SplitLabeled("dramwin") every window).
+var dramwinLabel = rng.MakeLabel("dramwin")
+
+// noCore is the component→core resolver for errors that have no CPU
+// core behind them (DRAM events).
+var noCore = func(string) int { return -1 }
 
 // New builds an ecosystem. Pre-deployment characterization has not run
 // yet; call PreDeployment before EnterMode.
@@ -140,7 +164,7 @@ func New(opts Options) (*Ecosystem, error) {
 		return nil, fmt.Errorf("core: building hypervisor: %w", err)
 	}
 
-	return &Ecosystem{
+	e := &Ecosystem{
 		Clock:      clock,
 		Machine:    machine,
 		Mem:        mem,
@@ -156,7 +180,14 @@ func New(opts Options) (*Ecosystem, error) {
 		cpuTherm:   thermal.CPUNode(opts.AmbientCPUC),
 		memTherm:   thermal.DIMMNode(opts.AmbientDIMMC),
 		trip:       thermal.DefaultTrip(),
-	}, nil
+		dramHits:   make(map[string]int),
+	}
+	e.coreNames = make([]string, opts.Part.Cores)
+	for c := range e.coreNames {
+		e.coreNames[c] = fmt.Sprintf("%s/core%d", opts.Part.Model, c)
+	}
+	e.coreOf = func(string) int { return e.curCore }
+	return e, nil
 }
 
 // Temperatures returns the current die and DIMM temperatures.
@@ -195,7 +226,7 @@ func (e *Ecosystem) PreDeployment() (PreDeploymentReport, error) {
 	if err != nil {
 		return rep, fmt.Errorf("core: stress campaign: %w", err)
 	}
-	e.table = vec.Table
+	e.setTable(vec.Table)
 	rep.Margins = vec
 
 	// Fault-injection characterization of the hypervisor (loaded run:
@@ -251,6 +282,25 @@ func (e *Ecosystem) trainingSamples(n int) []predictor.Sample {
 // Table returns the published EOP table (nil before PreDeployment).
 func (e *Ecosystem) Table() *vfr.EOPTable { return e.table }
 
+// setTable installs a freshly published EOP table and precomputes the
+// worst-CPU-margin lookup every mode entry and window used to rescan
+// the table for. Characterization campaigns are the only writers of
+// the table, so the cache is recomputed exactly when the answer can
+// change.
+func (e *Ecosystem) setTable(t *vfr.EOPTable) {
+	e.table = t
+	e.worstComp = ""
+	for _, comp := range t.Components() {
+		m, err := t.Lookup(comp)
+		if err != nil || m.Component == "dram/relaxed" {
+			continue
+		}
+		if e.worstComp == "" || m.Safe.VoltageMV > e.worstMargin.Safe.VoltageMV {
+			e.worstComp, e.worstMargin = comp, m
+		}
+	}
+}
+
 // Mode returns the current operating mode.
 func (e *Ecosystem) Mode() vfr.Mode { return e.mode }
 
@@ -262,22 +312,9 @@ func (e *Ecosystem) EnterMode(mode vfr.Mode, riskTarget float64, wl workload.Pro
 	if e.advisor == nil {
 		return vfr.Point{}, errors.New("core: run PreDeployment first")
 	}
-	// The system point must be safe for the worst core: pick the
-	// component with the least headroom.
-	worst := ""
-	worstV := -1
-	for _, comp := range e.table.Components() {
-		m, err := e.table.Lookup(comp)
-		if err != nil {
-			return vfr.Point{}, err
-		}
-		if m.Component == "dram/relaxed" {
-			continue
-		}
-		if m.Safe.VoltageMV > worstV {
-			worst, worstV = comp, m.Safe.VoltageMV
-		}
-	}
+	// The system point must be safe for the worst core: the component
+	// with the least headroom, precomputed when the table was published.
+	worst := e.worstComp
 	if worst == "" {
 		return vfr.Point{}, errors.New("core: no CPU margins in table")
 	}
@@ -353,7 +390,7 @@ type WindowReport struct {
 // caller can fall back to nominal and trigger re-characterization.
 func (e *Ecosystem) RuntimeWindow(wl workload.Profile) WindowReport {
 	e.Clock.Advance(time.Minute)
-	rep := WindowReport{DRAMHits: map[string]int{}}
+	var rep WindowReport
 	point := e.Hypervisor.Point()
 	bench := cpu.Benchmark{
 		Name:           wl.Name,
@@ -362,8 +399,9 @@ func (e *Ecosystem) RuntimeWindow(wl workload.Profile) WindowReport {
 		Activity:       wl.CPUActivity,
 	}
 	core := e.src.Intn(e.Machine.Spec.Cores)
+	e.curCore = core
 	out := e.Machine.RunAt(core, bench, point.VoltageMV)
-	comp := fmt.Sprintf("%s/core%d", e.Machine.Spec.Model, core)
+	comp := e.coreNames[core]
 
 	// Thermal step: dissipated power heats the die; die temperature
 	// feeds back into the leakage term next window. The DIMMs follow
@@ -410,19 +448,29 @@ func (e *Ecosystem) RuntimeWindow(wl workload.Profile) WindowReport {
 		})
 		act := e.Hypervisor.HandleError(telemetry.ErrorEvent{
 			Kind: telemetry.ErrCorrectable, Component: comp, Count: out.ECCErrors,
-		}, "", -1, func(string) int { return core })
+		}, "", -1, e.coreOf)
 		rep.Actions = append(rep.Actions, act)
 	}
 	e.Health.Record(vec)
 
 	// DRAM window: retention errors land on owners; ECC corrects them
-	// (correctable) and the hypervisor masks them from guests.
-	hits := e.Hypervisor.Allocator().SimulateWindow(e.src.SplitLabeled("dramwin"))
-	for owner, n := range hits {
-		rep.DRAMHits[owner] += n
+	// (correctable) and the hypervisor masks them from guests. The
+	// child stream and the hit map are per-ecosystem scratch: stream-
+	// identical to SplitLabeled("dramwin") and re-cleared every window.
+	// The report's map is only materialized when errors actually struck
+	// (rare at advised refresh intervals), so quiet windows hand out a
+	// nil map and allocate nothing.
+	e.dramSrc = e.src.SplitWith(dramwinLabel)
+	clear(e.dramHits)
+	e.Hypervisor.Allocator().SimulateWindowInto(&e.dramSrc, e.dramHits)
+	for owner, n := range e.dramHits {
+		if rep.DRAMHits == nil {
+			rep.DRAMHits = make(map[string]int, len(e.dramHits))
+		}
+		rep.DRAMHits[owner] = n
 		act := e.Hypervisor.HandleError(telemetry.ErrorEvent{
 			Kind: telemetry.ErrCorrectable, Component: "dram", Count: n,
-		}, owner, -1, func(string) int { return -1 })
+		}, owner, -1, noCore)
 		rep.Actions = append(rep.Actions, act)
 	}
 	rep.PendingTests = len(e.Stress.Pending())

@@ -39,7 +39,7 @@ func (e *Ecosystem) Recharacterize() (stresslog.MarginVector, error) {
 	if err != nil {
 		return stresslog.MarginVector{}, err
 	}
-	e.table = vec.Table
+	e.setTable(vec.Table)
 	e.advisor.Table = vec.Table
 	// Flush campaign-provoked errors out of the trigger window.
 	e.Clock.Advance(2 * time.Hour)
@@ -219,24 +219,11 @@ func (e *Ecosystem) RunDeployment(mode vfr.Mode, riskTarget float64, wl workload
 // have run first.
 var ErrNotCharacterized = errors.New("core: run PreDeployment first")
 
-// worstCPUMargin returns the CPU margin with the least headroom.
+// worstCPUMargin returns the CPU margin with the least headroom, from
+// the cache setTable maintains.
 func (e *Ecosystem) worstCPUMargin() (vfr.Margin, error) {
-	var worst vfr.Margin
-	found := false
-	for _, comp := range e.table.Components() {
-		m, err := e.table.Lookup(comp)
-		if err != nil {
-			return vfr.Margin{}, err
-		}
-		if m.Component == "dram/relaxed" {
-			continue
-		}
-		if !found || m.Safe.VoltageMV > worst.Safe.VoltageMV {
-			worst, found = m, true
-		}
-	}
-	if !found {
+	if e.worstComp == "" {
 		return vfr.Margin{}, fmt.Errorf("core: no CPU margins")
 	}
-	return worst, nil
+	return e.worstMargin, nil
 }

@@ -78,7 +78,14 @@ func (m RetentionModel) FailProb(interval time.Duration, tempC float64) float64 
 // temperature) conditioned on it being below the given horizon, using
 // inverse-CDF sampling of the truncated tail.
 func (m RetentionModel) SampleWeakRetention(horizon time.Duration, src *rng.Source) float64 {
-	pH := m.FailProb(horizon, m.RefTempC)
+	return m.sampleWeakTail(m.FailProb(horizon, m.RefTempC), src)
+}
+
+// sampleWeakTail is SampleWeakRetention with the horizon's tail mass
+// pH already evaluated: fabrication draws tens of thousands of cells
+// against the same horizon, so the CDF evaluation is hoisted out of
+// the per-cell loop.
+func (m RetentionModel) sampleWeakTail(pH float64, src *rng.Source) float64 {
 	u := src.Float64()
 	for u == 0 {
 		u = src.Float64()
@@ -131,6 +138,12 @@ type DIMM struct {
 	// Weak holds every cell whose retention falls below the simulation
 	// horizon; all other cells never fail at the intervals simulated.
 	Weak []WeakCell
+
+	// vrt indexes the VRT cells within Weak, in cell order, so the
+	// per-window telegraph toggle touches only them instead of scanning
+	// the whole weak population. Filled by NewDIMM; a literal-built
+	// DIMM (nil vrt) falls back to the full scan.
+	vrt []int
 }
 
 // WeakCellHorizon is the retention horizon below which cells are
@@ -150,12 +163,13 @@ func NewDIMM(capacityBytes uint64, deviceGb int, model RetentionModel, src *rng.
 	for i := range d.Weak {
 		cell := WeakCell{
 			Offset:       src.Uint64() % bits,
-			RetentionSec: model.SampleWeakRetention(WeakCellHorizon, src),
+			RetentionSec: model.sampleWeakTail(pWeak, src),
 			TrueCell:     src.Bool(),
 		}
 		if src.Bernoulli(VRTFraction) {
 			cell.AltRetentionSec = cell.RetentionSec / VRTRetentionRatio
 			cell.LowState = src.Bool()
+			d.vrt = append(d.vrt, i)
 		}
 		d.Weak[i] = cell
 	}
@@ -306,9 +320,20 @@ func (ms *MemorySystem) effectiveRetention(c WeakCell) float64 {
 }
 
 // toggleVRT advances the random-telegraph state of every VRT cell in
-// the domain by one observation window.
+// the domain by one observation window. Fabricated DIMMs carry a VRT
+// index, so only the ~10% VRT minority is visited; the Bernoulli draw
+// order (cell order) is identical to the full scan, so the stream —
+// and therefore every downstream fingerprint — is unchanged.
 func toggleVRT(dom *Domain, src *rng.Source) {
 	for _, dimm := range dom.DIMMs {
+		if dimm.vrt != nil {
+			for _, i := range dimm.vrt {
+				if src.Bernoulli(VRTToggleProb) {
+					dimm.Weak[i].LowState = !dimm.Weak[i].LowState
+				}
+			}
+			continue
+		}
 		for i := range dimm.Weak {
 			if dimm.Weak[i].AltRetentionSec > 0 && src.Bernoulli(VRTToggleProb) {
 				dimm.Weak[i].LowState = !dimm.Weak[i].LowState
@@ -328,9 +353,18 @@ func (ms *MemorySystem) RunPatternTest(dom *Domain, src *rng.Source) PatternTest
 	res := PatternTestResult{Domain: dom.Name, Refresh: dom.Refresh, BitsRead: dom.Bits()}
 	toggleVRT(dom, src)
 	interval := dom.Refresh.Seconds()
+	// The temperature scale is per-system state, not per-cell: hoisting
+	// it replaces a math.Pow per cell with one multiply, computing the
+	// exact same product effectiveRetention would.
+	scale := ms.Model.tempScale(ms.TempC)
 	for _, dimm := range dom.DIMMs {
-		for _, cell := range dimm.Weak {
-			if ms.effectiveRetention(cell) < interval && src.Bool() {
+		for i := range dimm.Weak {
+			cell := &dimm.Weak[i]
+			r := cell.RetentionSec
+			if cell.AltRetentionSec > 0 && cell.LowState {
+				r = cell.AltRetentionSec
+			}
+			if r*scale < interval && src.Bool() {
 				res.BitErrors++
 			}
 		}

@@ -199,12 +199,40 @@ func (al *Allocator) Exposure() []ExposureReport {
 // the crash risk the paper's domain isolation removes.
 func (al *Allocator) SimulateWindow(src *rng.Source) map[string]int {
 	out := make(map[string]int)
+	al.SimulateWindowInto(src, out)
+	return out
+}
+
+// SimulateWindowInto is SimulateWindow writing into a caller-owned map
+// (not cleared first), so a per-window stepper can reuse one scratch
+// map for the whole deployment instead of allocating every window. The
+// per-bit failure probability is a function of (domain refresh, system
+// temperature) only, so it is evaluated once per domain rather than
+// once per allocation; the Binomial draws consume the stream in the
+// same allocation order with the same parameters as ever.
+func (al *Allocator) SimulateWindowInto(src *rng.Source, out map[string]int) {
+	var (
+		pDom  [8]*Domain
+		pVal  [8]float64
+		nDoms int
+	)
+	probFor := func(dom *Domain) float64 {
+		for i := 0; i < nDoms; i++ {
+			if pDom[i] == dom {
+				return pVal[i]
+			}
+		}
+		p := al.ms.Model.FailProb(dom.Refresh, al.ms.TempC) / 2
+		if nDoms < len(pDom) {
+			pDom[nDoms], pVal[nDoms] = dom, p
+			nDoms++
+		}
+		return p
+	}
 	for _, a := range al.allocations {
-		p := al.ms.Model.FailProb(a.Domain.Refresh, al.ms.TempC) / 2
-		n := src.Binomial(int(a.Bytes()*8), p)
+		n := src.Binomial(int(a.Bytes()*8), probFor(a.Domain))
 		if n > 0 {
 			out[a.Owner] += n
 		}
 	}
-	return out
 }

@@ -1,0 +1,39 @@
+package fleet
+
+import "testing"
+
+// epochAllocBudget bounds the allocations one node-window adds to a
+// fleet run: the node's own Deployment.Step budget (see the core
+// package's TestStepAllocationBudget) plus the coordinator's replay
+// share — the health-buffer append and the cloud layer's per-epoch
+// accounting. The fence exists so the batched epoch engine can't
+// silently regrow per-window garbage (maps, closures, health slices)
+// without a test noticing.
+const epochAllocBudget = 8.0
+
+// TestEpochLoopAllocationBudget measures the fleet engine's marginal
+// allocation cost per node-window by differencing two runs that share
+// the identical characterization phase and differ only in horizon.
+func TestEpochLoopAllocationBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	run := func(windows int) float64 {
+		cfg := smallConfig(2, 1)
+		cfg.Windows = windows
+		return testing.AllocsPerRun(1, func() {
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	const shortW, longW = 20, 120
+	short, long := run(shortW), run(longW)
+	perNodeWindow := (long - short) / float64(longW-shortW) / 2 // 2 nodes
+	t.Logf("fleet epoch loop: %.2f allocs/node-window (budget %.0f; %g vs %g total)",
+		perNodeWindow, epochAllocBudget, short, long)
+	if perNodeWindow > epochAllocBudget {
+		t.Fatalf("fleet epoch loop allocates %.2f/node-window, budget is %.0f — the batched stepper regressed",
+			perNodeWindow, epochAllocBudget)
+	}
+}

@@ -1,11 +1,15 @@
 // Package fleet is the concurrent multi-node runtime: a deterministic,
 // worker-pool-driven engine that runs N core.Ecosystem nodes in
 // parallel — pre-deployment characterization (stress campaigns,
-// fault-injection, predictor training) fans out across workers, the
-// runtime advances in barrier-synchronized cluster epochs with
-// lock-free per-node stepping, and each epoch's node health feeds the
-// openstack.Manager scheduler (reliability metric, proactive
-// migration, SLA accounting).
+// fault-injection, predictor training) fans out across workers, each
+// node then batches through its entire window sequence on one worker
+// (buffering a compact health record per window), and the coordinator
+// replays the recorded health into the openstack.Manager scheduler in
+// window order (reliability metric, proactive migration, SLA
+// accounting). Batching is legal because node simulations never read
+// cloud-layer state: the replay feeds the manager byte-identical
+// inputs, in the identical order, as a per-window barrier would, at a
+// fraction of the synchronization cost.
 //
 // Determinism is a hard requirement and a structural property, not a
 // best effort: every node owns its rng.Source (seeded by the pure
@@ -27,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"uniserver/internal/core"
@@ -309,8 +314,19 @@ func exactFloat(f float64) string {
 	return strconv.FormatFloat(f, 'x', -1, 64)
 }
 
-// nodeState is one node's slot. Workers touch only their own slot
-// between barriers; the coordinator reads all slots after each barrier.
+// epochHealth is one node's compact per-window health record, buffered
+// while the node batches through its windows and replayed into the
+// cloud layer afterwards.
+type epochHealth struct {
+	failProb     float64
+	correctable  int
+	thermalAlarm int
+	crashed      bool
+}
+
+// nodeState is one node's slot. Exactly one worker touches a slot
+// during each parallel phase; the coordinator reads all slots only
+// after the phase's join.
 type nodeState struct {
 	name  string
 	seed  uint64
@@ -322,9 +338,10 @@ type nodeState struct {
 	pre    core.PreDeploymentReport
 	log    bytes.Buffer
 
-	// Per-epoch outputs, overwritten each barrier.
-	rep      core.WindowReport
-	failProb float64
+	// health[w] is the node's window-w report; errWindow is the window
+	// the node failed at (len(health) when it didn't).
+	health    []epochHealth
+	errWindow int
 
 	err error
 }
@@ -362,7 +379,13 @@ func Run(cfg Config) (Summary, error) {
 		opts := core.DefaultOptions()
 		opts.Seed = s.seed
 		opts.Mem = spec.Mem
-		opts.HealthLogOut = &s.log
+		// The per-node log buffer (and the JSON marshal every window
+		// that fills it) exists only when the caller asked for the log;
+		// the health daemon's triggers and retention behave identically
+		// either way.
+		if cfg.HealthLogOut != nil {
+			opts.HealthLogOut = &s.log
+		}
 		opts.AmbientCPUC = spec.AmbientCPUC
 		opts.AmbientDIMMC = spec.AmbientDIMMC
 		if spec.Part.Cores != 0 {
@@ -437,25 +460,47 @@ func Run(cfg Config) (Summary, error) {
 		}
 	}
 
-	// Phase 3 — barrier-synchronized epochs: all nodes step their
-	// deployments concurrently (lock-free: each worker owns its slot),
-	// then the coordinator merges the health reports in node order and
-	// ticks the cloud layer.
-	cursor := openstack.NewStreamCursor(arrivals)
-	evictedVMs := 0
-	for w := 0; w < cfg.Windows; w++ {
-		now := time.Duration(w) * time.Minute
-
-		// Arrivals and departures resolve before the epoch, so newly
-		// placed VMs are exposed to this window's crash/migration
-		// outcome, as in the stream simulator.
-		cursor.Advance(mgr, now)
-
-		forEachNode(workers, len(states), func(i int) {
-			s := states[i]
-			// Scenario interventions land before the step, on the
-			// node's own worker: Perturb is pure in (i, w) and touches
-			// only node i's state, so the determinism contract holds.
+	// Phase 3a — batched window stepping: each node runs its entire
+	// window sequence in one worker task, buffering a compact health
+	// record per window. Node simulations are mutually independent and
+	// independent of the cloud layer (the manager never feeds back into
+	// a node's ecosystem), so batching removes the per-window barrier —
+	// and its goroutine churn — without moving a single rng draw. The
+	// scenario interventions still land on the node's own worker
+	// immediately before the window they target: Perturb is pure in
+	// (i, w) and touches only node i's state.
+	for _, s := range states {
+		s.health = make([]epochHealth, 0, cfg.Windows)
+		s.errWindow = cfg.Windows
+	}
+	// failFloor is the earliest failing window any node has reported:
+	// once a run is doomed, healthy nodes stop at that window instead
+	// of simulating out their full horizon (their buffered health
+	// always covers [0, floor), which is all the replay can consume
+	// before it aborts). Purely an early-exit; results on the success
+	// path are untouched. When a health log was requested the early
+	// exit is disabled: where a healthy node happens to observe the
+	// floor depends on goroutine scheduling, and a log truncated at a
+	// scheduling-dependent window would break the contract that the
+	// flushed log is byte-identical across runs — on the error path,
+	// exactly where the diagnostics matter most.
+	earlyExit := cfg.HealthLogOut == nil
+	var failFloor atomic.Int64
+	failFloor.Store(int64(cfg.Windows))
+	reportFail := func(w int) {
+		for {
+			cur := failFloor.Load()
+			if int64(w) >= cur || failFloor.CompareAndSwap(cur, int64(w)) {
+				return
+			}
+		}
+	}
+	forEachNode(workers, len(states), func(i int) {
+		s := states[i]
+		for w := 0; w < cfg.Windows; w++ {
+			if earlyExit && int64(w) >= failFloor.Load() {
+				return
+			}
 			if cfg.Perturb != nil {
 				p := cfg.Perturb(i, w)
 				if p.Ambient != nil {
@@ -467,6 +512,8 @@ func Run(cfg Config) (Summary, error) {
 				if p.Mode != nil {
 					if err := s.dep.SwitchMode(p.Mode.Mode, p.Mode.RiskTarget); err != nil {
 						s.err = fmt.Errorf("fleet: node %d window %d mode switch: %w", i, w, err)
+						s.errWindow = w
+						reportFail(w)
 						return
 					}
 				}
@@ -474,27 +521,59 @@ func Run(cfg Config) (Summary, error) {
 			rep, err := s.dep.Step()
 			if err != nil {
 				s.err = fmt.Errorf("fleet: node %d window %d: %w", i, w, err)
+				s.errWindow = w
+				reportFail(w)
 				return
 			}
 			fp, err := s.eco.PredictedFailProb()
 			if err != nil {
 				s.err = fmt.Errorf("fleet: node %d window %d: %w", i, w, err)
+				s.errWindow = w
+				reportFail(w)
 				return
 			}
-			s.rep, s.failProb = rep, fp
-		})
-		if err := firstError(states); err != nil {
-			return fail(err)
+			s.health = append(s.health, epochHealth{
+				failProb:     fp,
+				correctable:  rep.Correctable,
+				thermalAlarm: rep.ThermalAlarm,
+				crashed:      rep.Crashed,
+			})
 		}
+	})
+	// A node failure aborts the run at its window, exactly as the
+	// barrier engine did: earliest failing window wins, ties resolve to
+	// the lowest node index (states are scanned in node order).
+	failWindow, failErr := cfg.Windows, error(nil)
+	for _, s := range states {
+		if s.err != nil && s.errWindow < failWindow {
+			failWindow, failErr = s.errWindow, s.err
+		}
+	}
 
-		health := make([]openstack.NodeHealth, len(states))
+	// Phase 3b — the coordinator replays the cloud layer in window
+	// order over the buffered health: arrivals and departures resolve
+	// before each epoch (so newly placed VMs are exposed to that
+	// window's crash/migration outcome, as in the stream simulator),
+	// then the epoch's health lands in the scheduler in node order.
+	// The manager sees byte-identical inputs in the identical order as
+	// under per-window barriers.
+	cursor := openstack.NewStreamCursor(arrivals)
+	evictedVMs := 0
+	health := make([]openstack.NodeHealth, len(states))
+	for w := 0; w < cfg.Windows; w++ {
+		now := time.Duration(w) * time.Minute
+		cursor.Advance(mgr, now)
+		if w == failWindow {
+			return fail(failErr)
+		}
 		for i, s := range states {
+			h := s.health[w]
 			health[i] = openstack.NodeHealth{
 				Name:         s.name,
-				FailProb:     s.failProb,
-				Crashed:      s.rep.Crashed,
-				Correctable:  s.rep.Correctable,
-				ThermalAlarm: s.rep.ThermalAlarm,
+				FailProb:     h.failProb,
+				Crashed:      h.crashed,
+				Correctable:  h.correctable,
+				ThermalAlarm: h.thermalAlarm,
 			}
 		}
 		stats, err := mgr.StepFleet(health, time.Minute, now, cfg.Repair)

@@ -70,13 +70,33 @@ type Daemon struct {
 	clock *telemetry.Clock
 	out   io.Writer // JSON-lines system logfile; may be nil
 
-	mu        sync.Mutex
-	byComp    map[string][]telemetry.InfoVector
+	mu sync.Mutex
+	// byComp holds one history per component. listeners and onTrigger
+	// are copy-on-write: Subscribe/OnStressTrigger replace the whole
+	// slice, so Record can capture the header under the lock and range
+	// it after unlocking without a defensive per-record copy.
+	byComp    map[string]*compHistory
 	listeners []Listener
 	onTrigger []func(TriggerReason)
 	recorded  uint64
 	crashes   uint64
 	writeErr  error
+}
+
+// compHistory is one component's retained vectors plus the rolling
+// sliding-window error bookkeeping: winStart indexes the first
+// retained vector inside the current window and winErrs sums the
+// correctable counts of vecs[winStart:]. The rolling form is valid
+// only while record times are nondecreasing (the daemon clock only
+// advances); an out-of-order record marks the history dirty and the
+// threshold check falls back to the full scan, which is the rolling
+// form's definition.
+type compHistory struct {
+	vecs     []telemetry.InfoVector
+	winStart int
+	winErrs  int
+	lastTime time.Time
+	dirty    bool
 }
 
 // New returns a daemon writing JSON lines to out (nil discards) and
@@ -95,7 +115,7 @@ func New(cfg Config, clock *telemetry.Clock, out io.Writer) *Daemon {
 		cfg:    cfg,
 		clock:  clock,
 		out:    out,
-		byComp: make(map[string][]telemetry.InfoVector),
+		byComp: make(map[string]*compHistory),
 	}
 }
 
@@ -104,7 +124,8 @@ func New(cfg Config, clock *telemetry.Clock, out io.Writer) *Daemon {
 func (d *Daemon) Subscribe(l Listener) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.listeners = append(d.listeners, l)
+	// Copy-on-write: never extend the slice Record may be ranging.
+	d.listeners = append(append([]Listener(nil), d.listeners...), l)
 }
 
 // OnStressTrigger registers a callback invoked when a component's
@@ -113,7 +134,8 @@ func (d *Daemon) Subscribe(l Listener) {
 func (d *Daemon) OnStressTrigger(f func(TriggerReason)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.onTrigger = append(d.onTrigger, f)
+	// Copy-on-write, as for Subscribe.
+	d.onTrigger = append(append([]func(TriggerReason){}, d.onTrigger...), f)
 }
 
 // Record ingests one information vector: stamps it with the daemon
@@ -129,11 +151,28 @@ func (d *Daemon) Record(v telemetry.InfoVector) {
 	if v.HasCrash() {
 		d.crashes++
 	}
-	hist := append(d.byComp[v.Component], v)
-	if len(hist) > d.cfg.RetainVectors {
-		hist = hist[len(hist)-d.cfg.RetainVectors:]
+	h := d.byComp[v.Component]
+	if h == nil {
+		h = &compHistory{}
+		d.byComp[v.Component] = h
 	}
-	d.byComp[v.Component] = hist
+	if v.Time.Before(h.lastTime) {
+		h.dirty = true // rolling window invalid; fall back to scans
+	} else {
+		h.lastTime = v.Time
+	}
+	h.vecs = append(h.vecs, v)
+	if trim := len(h.vecs) - d.cfg.RetainVectors; trim > 0 {
+		// Vectors falling out of retention also fall out of the
+		// threshold window — the scan only ever saw retained history.
+		for i := h.winStart; i < trim; i++ {
+			h.winErrs -= h.vecs[i].CorrectableCount()
+		}
+		h.vecs = h.vecs[trim:]
+		if h.winStart -= trim; h.winStart < 0 {
+			h.winStart = 0
+		}
+	}
 
 	if d.out != nil && d.writeErr == nil {
 		if line, err := v.MarshalLine(); err == nil {
@@ -143,9 +182,9 @@ func (d *Daemon) Record(v telemetry.InfoVector) {
 		}
 	}
 
-	listeners := append([]Listener(nil), d.listeners...)
+	listeners := d.listeners
 	var reason *TriggerReason
-	if n := d.windowErrorsLocked(v.Component, v.Time); n > d.cfg.ErrorThreshold {
+	if n := h.windowErrors(v, d.cfg.Window); n > d.cfg.ErrorThreshold {
 		reason = &TriggerReason{
 			Component:  v.Component,
 			WindowErrs: n,
@@ -153,8 +192,7 @@ func (d *Daemon) Record(v telemetry.InfoVector) {
 			At:         v.Time,
 		}
 	}
-	var triggers []func(TriggerReason)
-	triggers = append(triggers, d.onTrigger...)
+	triggers := d.onTrigger
 	d.mu.Unlock()
 
 	for _, l := range listeners {
@@ -167,17 +205,28 @@ func (d *Daemon) Record(v telemetry.InfoVector) {
 	}
 }
 
-// windowErrorsLocked counts the component's correctable errors inside
-// the sliding window ending at now. Caller holds d.mu.
-func (d *Daemon) windowErrorsLocked(component string, now time.Time) int {
-	cutoff := now.Add(-d.cfg.Window)
-	n := 0
-	for _, v := range d.byComp[component] {
-		if v.Time.After(cutoff) && !v.Time.After(now) {
-			n += v.CorrectableCount()
+// windowErrors returns the component's correctable errors inside the
+// sliding window ending at the just-recorded vector v. On the ordered
+// fast path it advances the rolling cursor past expired vectors and
+// adds v's count — O(expired) instead of O(retained) per record, with
+// the exact same total the full scan produces. Caller holds d.mu.
+func (h *compHistory) windowErrors(v telemetry.InfoVector, window time.Duration) int {
+	cutoff := v.Time.Add(-window)
+	if h.dirty {
+		n := 0
+		for _, w := range h.vecs {
+			if w.Time.After(cutoff) && !w.Time.After(v.Time) {
+				n += w.CorrectableCount()
+			}
 		}
+		return n
 	}
-	return n
+	for h.winStart < len(h.vecs)-1 && !h.vecs[h.winStart].Time.After(cutoff) {
+		h.winErrs -= h.vecs[h.winStart].CorrectableCount()
+		h.winStart++
+	}
+	h.winErrs += v.CorrectableCount()
+	return h.winErrs
 }
 
 // Query returns the retained vectors for a component recorded at or
@@ -185,8 +234,12 @@ func (d *Daemon) windowErrorsLocked(component string, now time.Time) int {
 func (d *Daemon) Query(component string, since time.Time) []telemetry.InfoVector {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	h := d.byComp[component]
+	if h == nil {
+		return nil
+	}
 	var out []telemetry.InfoVector
-	for _, v := range d.byComp[component] {
+	for _, v := range h.vecs {
 		if !v.Time.Before(since) {
 			out = append(out, v)
 		}

@@ -50,7 +50,15 @@ type FleetStepStats struct {
 // outcome, regardless of how many goroutines produced the reports.
 func (m *Manager) StepFleet(health []NodeHealth, window, now, repair time.Duration) (FleetStepStats, error) {
 	var stats FleetStepStats
-	byName := make(map[string]NodeHealth, len(health))
+	// The lookup table is manager-owned scratch, rebuilt every epoch:
+	// fleet runs call StepFleet once per simulated minute, and the
+	// per-call map allocation was the epoch loop's largest garbage
+	// source. Lookup-only usage keeps map iteration order irrelevant.
+	if m.healthScratch == nil {
+		m.healthScratch = make(map[string]NodeHealth, len(health))
+	}
+	clear(m.healthScratch)
+	byName := m.healthScratch
 	for _, h := range health {
 		if _, ok := m.nodes[h.Name]; !ok {
 			return stats, fmt.Errorf("openstack: health report for unknown node %q", h.Name)
@@ -66,7 +74,7 @@ func (m *Manager) StepFleet(health []NodeHealth, window, now, repair time.Durati
 	// Offline nodes update too: their simulation keeps characterizing,
 	// and a repaired node must rejoin the pool with its current health,
 	// not a repair-interval-stale probability.
-	for _, n := range m.Nodes() {
+	for _, n := range m.sorted {
 		if h, ok := byName[n.Name]; ok {
 			n.BaseFailProb = h.FailProb
 		}
@@ -96,7 +104,7 @@ func (m *Manager) MeanAvailability() float64 {
 		return 0
 	}
 	total := 0.0
-	for _, n := range m.Nodes() {
+	for _, n := range m.sorted {
 		total += n.Metrics().Availability
 	}
 	return total / float64(len(m.nodes))

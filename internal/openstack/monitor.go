@@ -40,7 +40,7 @@ func NewMonitor(retain int) *Monitor {
 // typically well below the allocation.
 func (mon *Monitor) SampleFleet(m *Manager, src *rng.Source) {
 	mon.window++
-	for _, n := range m.Nodes() {
+	for _, n := range m.sorted {
 		if !n.Online() {
 			continue
 		}
@@ -102,7 +102,7 @@ func (mon *Monitor) Dynamics(m *Manager, vm string) (Dynamics, error) {
 		MemMeanBytes: memSum / uint64(len(h)),
 	}
 	var alloc uint64
-	for _, n := range m.Nodes() {
+	for _, n := range m.sorted {
 		for _, inst := range n.Instances() {
 			if inst.Spec.Name == vm {
 				alloc = inst.Spec.MemBytes

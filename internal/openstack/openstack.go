@@ -253,6 +253,13 @@ func LegacyPolicy() Policy {
 type Manager struct {
 	Policy Policy
 	nodes  map[string]*Node
+	// sorted is the fleet in name order, built once: the node set is
+	// fixed at construction, and every scheduling walk (which must be
+	// deterministic, hence ordered) reuses this slice instead of
+	// sorting the map per call.
+	sorted []*Node
+	// healthScratch is StepFleet's reusable per-epoch lookup table.
+	healthScratch map[string]NodeHealth
 
 	// Stats.
 	Scheduled     int
@@ -279,17 +286,19 @@ func NewManager(policy Policy, nodes ...*Node) (*Manager, error) {
 		}
 		m.nodes[n.Name] = n
 	}
+	m.sorted = make([]*Node, 0, len(nodes))
+	for _, n := range m.nodes {
+		m.sorted = append(m.sorted, n)
+	}
+	sort.Slice(m.sorted, func(i, j int) bool { return m.sorted[i].Name < m.sorted[j].Name })
 	return m, nil
 }
 
-// Nodes returns the fleet sorted by name.
+// Nodes returns the fleet sorted by name. The slice is the caller's
+// to keep (reordering it cannot perturb the manager's own walks);
+// in-package hot paths range m.sorted directly to skip the copy.
 func (m *Manager) Nodes() []*Node {
-	out := make([]*Node, 0, len(m.nodes))
-	for _, n := range m.nodes {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return append([]*Node(nil), m.sorted...)
 }
 
 // score weighs a candidate node for placement.
@@ -310,7 +319,7 @@ func (m *Manager) Schedule(spec workload.VMSpec, sla SLA) (string, error) {
 	}
 	var best *Node
 	bestScore := 0.0
-	for _, n := range m.Nodes() {
+	for _, n := range m.sorted {
 		if !n.fits(spec) {
 			continue
 		}
@@ -345,7 +354,7 @@ func (m *Manager) Terminate(name string) bool {
 func (m *Manager) migrate(inst *Instance, from *Node) bool {
 	var best *Node
 	bestScore := 0.0
-	for _, n := range m.Nodes() {
+	for _, n := range m.sorted {
 		if n.Name == from.Name || !n.fits(inst.Spec) {
 			continue
 		}
@@ -373,7 +382,7 @@ func (m *Manager) ProactiveMigration() int {
 		return 0
 	}
 	moved := 0
-	for _, n := range m.Nodes() {
+	for _, n := range m.sorted {
 		if !n.online || n.FailProb() < m.Policy.MigrationThreshold {
 			continue
 		}
@@ -409,7 +418,7 @@ func (m *Manager) Tick(window time.Duration, now time.Duration, repair time.Dura
 // for online nodes, in that order. stats, when non-nil, receives the
 // epoch's counters.
 func (m *Manager) resolveWindow(window, now, repair time.Duration, crashed func(*Node) bool, stats *FleetStepStats) {
-	for _, n := range m.Nodes() {
+	for _, n := range m.sorted {
 		n.windowsTotal++
 		if !n.online {
 			if now >= n.repairUntil {

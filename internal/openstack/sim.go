@@ -116,7 +116,7 @@ func RunStream(m *Manager, arrivals []workload.Arrival, cfg SimConfig, src *rng.
 		// Degradation lottery: an online node turns erratic.
 		if src.Bernoulli(cfg.DegradeProb) {
 			online := make([]*Node, 0, len(m.nodes))
-			for _, n := range m.Nodes() {
+			for _, n := range m.sorted {
 				if n.Online() {
 					online = append(online, n)
 				}
@@ -135,13 +135,13 @@ func RunStream(m *Manager, arrivals []workload.Arrival, cfg SimConfig, src *rng.
 		res.Migrations += m.ProactiveMigration()
 
 		wasOffline := map[string]bool{}
-		for _, n := range m.Nodes() {
+		for _, n := range m.sorted {
 			wasOffline[n.Name] = !n.Online()
 		}
 		m.Tick(cfg.Window, now, cfg.Repair, src)
 
 		// Nodes returning from repair have been re-characterized.
-		for _, n := range m.Nodes() {
+		for _, n := range m.sorted {
 			if wasOffline[n.Name] && n.Online() {
 				n.BaseFailProb = original[n.Name]
 			}

@@ -42,12 +42,31 @@ func (s *Source) Split() *Source {
 // label, so that adding a new consumer does not perturb the streams of
 // existing consumers that use different labels.
 func (s *Source) SplitLabeled(label string) *Source {
+	return &Source{state: s.state ^ uint64(MakeLabel(label))}
+}
+
+// Label is a precomputed SplitLabeled key: the FNV-1a hash of the
+// label string. Hot paths that split on the same label every window
+// hoist the hash with MakeLabel (usually into a package-level var) and
+// call SplitWith, which neither hashes nor heap-allocates.
+type Label uint64
+
+// MakeLabel hashes a label string once. MakeLabel + SplitWith is
+// stream-identical to SplitLabeled on the same string.
+func MakeLabel(label string) Label {
 	h := uint64(14695981039346656037) // FNV-1a offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	return &Source{state: s.state ^ h}
+	return Label(h)
+}
+
+// SplitWith derives the same child stream SplitLabeled would for the
+// label behind l, returned by value so callers can keep it on the
+// stack or in a reused scratch slot.
+func (s *Source) SplitWith(l Label) Source {
+	return Source{state: s.state ^ uint64(l)}
 }
 
 // Uint64 returns the next value of the stream.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"uniserver/internal/fleet"
 )
@@ -113,6 +114,21 @@ type Campaign struct {
 	Parallel int
 }
 
+// EffectiveParallel resolves the concurrent-cell count RunCampaign
+// will use: non-positive Parallel means GOMAXPROCS, and never more
+// workers than grid cells. Exposed so CLIs can report the actual
+// fan-out instead of re-deriving (and drifting from) this policy.
+func (c Campaign) EffectiveParallel() int {
+	parallel := c.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if cells := len(c.Scenarios) * len(c.Seeds); parallel > cells {
+		parallel = cells
+	}
+	return parallel
+}
+
 // SmokeCampaign returns the fast all-presets sanity grid used by CI
 // and the -campaign smoke CLI verb: every bundled preset scaled down
 // to `nodes` nodes (<= 0 means 4) and a short horizon, one seed.
@@ -150,10 +166,7 @@ func RunCampaign(c Campaign) (Report, error) {
 	if workers <= 0 {
 		workers = 1
 	}
-	parallel := c.Parallel
-	if parallel <= 0 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
+	parallel := c.EffectiveParallel()
 	type cell struct{ si, ki int }
 	grid := make([]cell, 0, len(c.Scenarios)*len(c.Seeds))
 	for si := range c.Scenarios {
@@ -161,30 +174,30 @@ func RunCampaign(c Campaign) (Report, error) {
 			grid = append(grid, cell{si, ki})
 		}
 	}
-	if parallel > len(grid) {
-		parallel = len(grid)
-	}
 
-	// Fan out: each goroutine writes only its own grid slots, results
+	// Fan out: workers pull grid cells off a shared atomic cursor the
+	// moment they free up — no producer goroutine feeding them in grid
+	// order, so an expensive early cell never stalls the handout of
+	// later ones. Each worker writes only the slots it claimed; results
 	// land in grid order whatever the completion order.
 	results := make([]Result, len(grid))
-	jobs := make(chan int)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < parallel; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for gi := range jobs {
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(grid) {
+					return
+				}
 				g := grid[gi]
 				res, _ := RunScenario(c.Scenarios[g.si], c.Seeds[g.ki], workers)
 				results[gi] = res
 			}
 		}()
 	}
-	for gi := range grid {
-		jobs <- gi
-	}
-	close(jobs)
 	wg.Wait()
 
 	// Merge in grid order.
