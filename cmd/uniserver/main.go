@@ -65,6 +65,8 @@ func run() error {
 	seedCount := flag.Int("seeds", 1, "campaign: seeds per scenario (seed, seed+1, ...)")
 	parallel := flag.Int("parallel", 0,
 		"campaign: concurrent grid cells (0 = GOMAXPROCS); workers pull cells as they free up, results stay in grid order")
+	shareCharact := flag.Bool("share-charact", true,
+		"campaign: share pre-deployment characterization across cells via ecosystem snapshots (byte-identical results, several-fold faster; disable to measure the uncached cost)")
 	reportPath := flag.String("report", "", "campaign: write the machine-readable JSON report to this file")
 	flag.Parse()
 
@@ -133,6 +135,9 @@ func run() error {
 	if set["parallel"] && *campaignSpec == "" {
 		return fmt.Errorf("-parallel only applies to -campaign; use -workers for a single fleet run")
 	}
+	if set["share-charact"] && *campaignSpec == "" {
+		return fmt.Errorf("-share-charact only applies to -campaign; single runs have nothing to share")
+	}
 
 	// The health log must be closed (flushing the JSON lines) on every
 	// exit path, including errors — hence the run()/error shape instead
@@ -178,7 +183,7 @@ func run() error {
 			return err
 		}
 	case *campaignSpec != "":
-		if err := runCampaign(*campaignSpec, nodesOverride, windowsOverride, *seed, *seedCount, *workers, *parallel, *reportPath); err != nil {
+		if err := runCampaign(*campaignSpec, nodesOverride, windowsOverride, *seed, *seedCount, *workers, *parallel, *shareCharact, *reportPath); err != nil {
 			return err
 		}
 	case *nodes > 1:
@@ -239,7 +244,7 @@ func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, w
 
 // runCampaign assembles the requested scenario×seed grid, fans it out
 // in parallel, and prints the comparative table.
-func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, seedCount, workers, parallel int, reportPath string) error {
+func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, seedCount, workers, parallel int, shareCharact bool, reportPath string) error {
 	if seedCount <= 0 {
 		return fmt.Errorf("-seeds must be positive")
 	}
@@ -273,9 +278,11 @@ func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, s
 	}
 	camp.FleetWorkers = workers
 	camp.Parallel = parallel
+	camp.DisableCharactShare = !shareCharact
 
-	fmt.Printf("== campaign: %d scenarios x %d seeds (%d cells, %d-way parallel) ==\n",
-		len(camp.Scenarios), len(camp.Seeds), len(camp.Scenarios)*len(camp.Seeds), camp.EffectiveParallel())
+	fmt.Printf("== campaign: %d scenarios x %d seeds (%d cells, %d-way parallel, charact sharing %s) ==\n",
+		len(camp.Scenarios), len(camp.Seeds), len(camp.Scenarios)*len(camp.Seeds), camp.EffectiveParallel(),
+		map[bool]string{true: "on", false: "off"}[shareCharact])
 	start := time.Now()
 	rep, err := scenario.RunCampaign(camp)
 	if err != nil {
@@ -291,6 +298,17 @@ func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, s
 	}
 	fmt.Printf("\ncampaign fingerprint sha256:%s  (%v wall-clock)\n",
 		rep.FingerprintSHA256, time.Since(start).Round(time.Millisecond))
+	if shareCharact {
+		hits, misses := rep.CharactCacheHits, rep.CharactCacheMisses
+		reuse := 1.0
+		if misses > 0 {
+			reuse = float64(hits+misses) / float64(misses)
+		}
+		fmt.Printf("snapshot cache: %d hits / %d misses across %d-way parallel cells (%.1fx characterization reuse)\n",
+			hits, misses, rep.EffectiveParallel, reuse)
+	} else {
+		fmt.Printf("snapshot cache: disabled (-share-charact=false); every cell characterized its own nodes\n")
+	}
 	if reportPath != "" {
 		f, err := os.Create(reportPath)
 		if err != nil {

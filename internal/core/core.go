@@ -116,6 +116,10 @@ type Ecosystem struct {
 	worstComp   string
 	worstMargin vfr.Margin
 
+	// windowsRun counts RuntimeWindow invocations; Snapshot refuses to
+	// capture once it is non-zero (see snapshot.go).
+	windowsRun int
+
 	// Per-window scratch state, owned by RuntimeWindow. None of it is
 	// observable between windows; it exists so steady-state stepping
 	// does not allocate (see DESIGN.md "Performance").
@@ -389,6 +393,7 @@ type WindowReport struct {
 // Predictor got it wrong, or conditions drifted) is reported so the
 // caller can fall back to nominal and trigger re-characterization.
 func (e *Ecosystem) RuntimeWindow(wl workload.Profile) WindowReport {
+	e.windowsRun++
 	e.Clock.Advance(time.Minute)
 	var rep WindowReport
 	point := e.Hypervisor.Point()

@@ -168,6 +168,14 @@ func NewMachine(spec PartSpec, seed uint64) *Machine {
 	return &Machine{Spec: spec, Chip: chip, src: src}
 }
 
+// Clone returns a deep copy of the machine: the same fabricated die
+// (with its accumulated aging) and the same measurement-stream
+// position, evolving independently of the original from here on.
+func (m *Machine) Clone() *Machine {
+	src := *m.src
+	return &Machine{Spec: m.Spec, Chip: m.Chip.Clone(), src: &src}
+}
+
 // droopMV samples the workload-induced droop for one run.
 func (m *Machine) droopMV(b Benchmark) float64 {
 	base := m.Spec.DroopMinMV + b.DroopIntensity*(m.Spec.DroopMaxMV-m.Spec.DroopMinMV)

@@ -186,6 +186,17 @@ func clampInt(v uint64) int {
 // Bits returns the DIMM capacity in bits.
 func (d *DIMM) Bits() uint64 { return d.CapacityBytes * 8 }
 
+// Clone returns a deep copy of the DIMM: the same fabricated weak-cell
+// population (including each VRT cell's current telegraph state) with
+// no shared storage, so the copy's future VRT toggles and pattern
+// tests leave the original untouched.
+func (d *DIMM) Clone() *DIMM {
+	out := *d
+	out.Weak = append([]WeakCell(nil), d.Weak...)
+	out.vrt = append([]int(nil), d.vrt...)
+	return &out
+}
+
 // Domain is a refresh domain: a set of DIMMs (one memory channel in
 // the paper's setup) sharing one refresh interval.
 type Domain struct {
@@ -268,6 +279,31 @@ func New(cfg Config, model RetentionModel, src *rng.Source) (*MemorySystem, erro
 		ms.Domains = append(ms.Domains, dom)
 	}
 	return ms, nil
+}
+
+// Clone returns a deep copy of the domain: its DIMMs (weak cells, VRT
+// state) and its current refresh setting.
+func (dom *Domain) Clone() *Domain {
+	out := *dom
+	out.DIMMs = make([]*DIMM, len(dom.DIMMs))
+	for i, d := range dom.DIMMs {
+		out.DIMMs[i] = d.Clone()
+	}
+	return &out
+}
+
+// Clone returns a deep copy of the memory system: every domain and
+// DIMM is duplicated (same order, same refresh intervals, same weak
+// cells in their current VRT states), so the copy can be relaxed,
+// tested and heated independently. Allocators bound to the original
+// are rebound with Allocator.CloneFor.
+func (ms *MemorySystem) Clone() *MemorySystem {
+	out := &MemorySystem{Model: ms.Model, TempC: ms.TempC}
+	out.Domains = make([]*Domain, len(ms.Domains))
+	for i, dom := range ms.Domains {
+		out.Domains[i] = dom.Clone()
+	}
+	return out
 }
 
 // ReliableDomain returns the reliable domain.

@@ -129,6 +129,19 @@ func NewObjectMap(profiles []CategoryProfile, src *rng.Source) *ObjectMap {
 	return om
 }
 
+// Clone returns a deep copy of the inventory, including each object's
+// current Crucial and Protected labels.
+func (om *ObjectMap) Clone() *ObjectMap {
+	out := &ObjectMap{
+		Objects:  append([]Object(nil), om.Objects...),
+		profiles: make(map[Category]CategoryProfile, len(om.profiles)),
+	}
+	for c, p := range om.profiles {
+		out.profiles[c] = p
+	}
+	return out
+}
+
 // Profile returns the category profile.
 func (om *ObjectMap) Profile(c Category) (CategoryProfile, error) {
 	p, ok := om.profiles[c]

@@ -55,13 +55,27 @@ type ScenarioReport struct {
 }
 
 // Report is the machine-readable campaign outcome: every grid cell in
-// scenario-major, seed-minor order, the per-scenario aggregates, and
-// a campaign-level fingerprint hash over the whole grid.
+// scenario-major, seed-minor order, the per-scenario aggregates, a
+// campaign-level fingerprint hash over the whole grid, and the
+// execution self-description (parallelism and snapshot-cache traffic)
+// that makes a perf run interpretable without rerunning it. The
+// execution fields never feed the fingerprint: they describe how the
+// grid was computed, not what it computed.
 type Report struct {
 	Seeds             []uint64         `json:"seeds"`
 	Results           []Result         `json:"results"`
 	Scenarios         []ScenarioReport `json:"scenarios"`
 	FingerprintSHA256 string           `json:"fingerprint_sha256"`
+
+	// EffectiveParallel is the concurrent-cell fan-out RunCampaign
+	// actually used (Campaign.EffectiveParallel at run time).
+	EffectiveParallel int `json:"effective_parallel"`
+	// CharactCacheHits / CharactCacheMisses count the campaign-wide
+	// characterization snapshot cache's traffic: misses are full
+	// characterizations run, hits are nodes served by restoring a
+	// snapshot. Both are zero when the cache is disabled.
+	CharactCacheHits   uint64 `json:"charact_cache_hits"`
+	CharactCacheMisses uint64 `json:"charact_cache_misses"`
 }
 
 // WriteJSON renders the report, indented, to w.
@@ -79,13 +93,25 @@ func sha256Hex(s string) string {
 
 // RunScenario executes one scenario at one seed on the given fleet
 // worker count and returns its result. Worker count never changes the
-// fingerprint, only the wall-clock.
+// fingerprint, only the wall-clock. The run goes through a run-private
+// characterization snapshot cache: node seeds within one run are all
+// distinct, so nothing is reused, but every node exercises the same
+// Snapshot→Restore path campaigns rely on — which is what lets the
+// preset golden tests pin that path byte for byte.
 func RunScenario(s Scenario, seed uint64, workers int) (Result, error) {
+	return runScenarioWith(s, seed, workers, fleet.NewCharactCache())
+}
+
+// runScenarioWith is RunScenario against a caller-supplied snapshot
+// cache (nil disables caching entirely); campaigns pass their shared
+// cache here.
+func runScenarioWith(s Scenario, seed uint64, workers int, cache *fleet.CharactCache) (Result, error) {
 	cfg, err := s.FleetConfig(seed)
 	if err != nil {
 		return Result{Scenario: s.Name, Seed: seed, Err: err.Error()}, err
 	}
 	cfg.Workers = workers
+	cfg.Charact = cache
 	sum, err := fleet.Run(cfg)
 	if err != nil {
 		return Result{Scenario: s.Name, Seed: seed, Err: err.Error()}, err
@@ -112,6 +138,14 @@ type Campaign struct {
 	// Parallel bounds how many grid cells run concurrently; <= 0
 	// means GOMAXPROCS.
 	Parallel int
+	// DisableCharactShare turns off the campaign-wide characterization
+	// snapshot cache. Sharing is on by default because cells at the
+	// same seed re-characterize identical (seed, node spec) pairs once
+	// per scenario; the cache runs each pair once and restores deep
+	// ecosystem snapshots everywhere else, with byte-identical results
+	// (pinned by the preset golden tests). Disable only to measure the
+	// uncached cost or to bisect a suspected restore divergence.
+	DisableCharactShare bool
 }
 
 // EffectiveParallel resolves the concurrent-cell count RunCampaign
@@ -175,6 +209,16 @@ func RunCampaign(c Campaign) (Report, error) {
 		}
 	}
 
+	// One snapshot cache spans the whole grid: cells sharing a seed
+	// share their node characterizations across scenarios, which is
+	// where the campaign's dominant cost used to be. The cache is
+	// concurrency-safe, so cells racing on the same key serialize on
+	// one characterization instead of duplicating it.
+	var cache *fleet.CharactCache
+	if !c.DisableCharactShare {
+		cache = fleet.NewCharactCache()
+	}
+
 	// Fan out: workers pull grid cells off a shared atomic cursor the
 	// moment they free up — no producer goroutine feeding them in grid
 	// order, so an expensive early cell never stalls the handout of
@@ -193,7 +237,7 @@ func RunCampaign(c Campaign) (Report, error) {
 					return
 				}
 				g := grid[gi]
-				res, _ := RunScenario(c.Scenarios[g.si], c.Seeds[g.ki], workers)
+				res, _ := runScenarioWith(c.Scenarios[g.si], c.Seeds[g.ki], workers, cache)
 				results[gi] = res
 			}
 		}()
@@ -201,7 +245,15 @@ func RunCampaign(c Campaign) (Report, error) {
 	wg.Wait()
 
 	// Merge in grid order.
-	rep := Report{Seeds: append([]uint64(nil), c.Seeds...), Results: results}
+	rep := Report{
+		Seeds:             append([]uint64(nil), c.Seeds...),
+		Results:           results,
+		EffectiveParallel: parallel,
+	}
+	if cache != nil {
+		st := cache.Stats()
+		rep.CharactCacheHits, rep.CharactCacheMisses = st.Hits, st.Misses
+	}
 	var firstErr error
 	allFPs := ""
 	for si, s := range c.Scenarios {

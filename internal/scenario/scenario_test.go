@@ -149,6 +149,64 @@ func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestCampaignCharactShareByteIdentical pins the snapshot cache's
+// campaign-level contract: sharing characterization across cells must
+// not move a single byte of any cell's fingerprint, must actually
+// reuse work (cells at the same seed share their node specs across
+// scenarios), and must report its traffic in the Report so perf runs
+// are self-describing.
+func TestCampaignCharactShareByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	grid := Campaign{
+		Scenarios: []Scenario{
+			Baseline().Scale(2, 8),
+			ThermalSummer().Scale(2, 8), // differs only in environment: must share
+			HeteroBins().Scale(2, 8),    // different silicon: must split per part
+		},
+		Seeds:    []uint64{3, 9},
+		Parallel: 4,
+	}
+	shared, err := RunCampaign(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := grid
+	solo.DisableCharactShare = true
+	unshared, err := RunCampaign(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.FingerprintSHA256 != unshared.FingerprintSHA256 {
+		t.Fatalf("sharing characterization moved the campaign fingerprint: %s vs %s",
+			shared.FingerprintSHA256, unshared.FingerprintSHA256)
+	}
+	for i := range shared.Results {
+		if shared.Results[i].Fingerprint != unshared.Results[i].Fingerprint {
+			t.Fatalf("cell %d (%s seed %d) diverged under sharing",
+				i, shared.Results[i].Scenario, shared.Results[i].Seed)
+		}
+	}
+	// 3 scenarios × 2 seeds × 2 nodes = 12 characterizations unshared.
+	// Shared: per seed, node 0 (i5) + node 1 (i5) are shared by
+	// baseline and thermal-summer and node 0 of hetero-bins; node 1 of
+	// hetero-bins is the lone i7 — 3 misses per seed, 6 total.
+	if got := shared.CharactCacheMisses; got != 6 {
+		t.Errorf("want 6 cache misses, got %d", got)
+	}
+	if got := shared.CharactCacheHits; got != 6 {
+		t.Errorf("want 6 cache hits, got %d", got)
+	}
+	if unshared.CharactCacheHits != 0 || unshared.CharactCacheMisses != 0 {
+		t.Errorf("disabled cache reported traffic: %d hits / %d misses",
+			unshared.CharactCacheHits, unshared.CharactCacheMisses)
+	}
+	if shared.EffectiveParallel != grid.EffectiveParallel() {
+		t.Errorf("report parallelism %d != campaign's %d", shared.EffectiveParallel, grid.EffectiveParallel())
+	}
+}
+
 // TestScenarioEffectsObservable checks each scenario lever actually
 // reaches the simulation: hetero bins change the per-node part model,
 // and a droop attack produces at least as many crashes as the same

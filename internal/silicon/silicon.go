@@ -121,6 +121,16 @@ func Fabricate(proc Process, model string, cores int, nominal vfr.Point, spreadS
 	return c
 }
 
+// Clone returns a deep copy of the chip: an identical specimen whose
+// cores, accumulated aging drift and stress history evolve
+// independently of the original. Snapshot/restore of characterized
+// ecosystems relies on it.
+func (c *Chip) Clone() *Chip {
+	out := *c
+	out.Cores = append([]Core(nil), c.Cores...)
+	return &out
+}
+
 // VcritMV returns the critical (minimum sustaining) voltage in
 // millivolts for the given core at the given frequency, excluding any
 // workload-induced droop. Below this voltage the core mis-times and

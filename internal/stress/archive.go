@@ -45,6 +45,17 @@ func (a *Archive) Put(e ArchiveEntry) error {
 	return nil
 }
 
+// Clone returns a deep copy of the archive. Entries are plain values
+// (genomes carry no reference types), so a map copy fully detaches the
+// two libraries.
+func (a *Archive) Clone() *Archive {
+	out := NewArchive()
+	for name, e := range a.entries {
+		out.entries[name] = e
+	}
+	return out
+}
+
 // Len returns the number of archived viruses.
 func (a *Archive) Len() int { return len(a.entries) }
 
