@@ -1,0 +1,195 @@
+// Command benchgraph renders the repo's run-over-run benchmark
+// histories (BENCH_fleet.json, BENCH_campaign.json) as a markdown
+// report: one table per benchmark plus an ASCII sparkline of the
+// ns/op trajectory, so a perf trend is visible at a glance — in the
+// terminal, in a CI artifact, or pasted into a PR. It is read-only:
+// the benchmarks own the histories; this tool only draws them.
+//
+//	go run ./cmd/benchgraph                 # render both histories to stdout
+//	go run ./cmd/benchgraph -o BENCH_HISTORY.md
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgraph: ")
+	fleetPath := flag.String("fleet", "BENCH_fleet.json", "fleet benchmark history (empty to skip)")
+	campaignPath := flag.String("campaign", "BENCH_campaign.json", "campaign benchmark history (empty to skip)")
+	outPath := flag.String("o", "", "write the markdown report here (default stdout)")
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		out = f
+	}
+	fmt.Fprintf(out, "# Benchmark history\n")
+	if *fleetPath != "" {
+		if err := renderFleet(out, *fleetPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *campaignPath != "" {
+		if err := renderCampaign(out, *campaignPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// fleetFile mirrors BENCH_fleet.json (the fields this tool draws).
+type fleetFile struct {
+	Benchmark string `json:"benchmark"`
+	Nodes     int    `json:"nodes"`
+	Windows   int    `json:"windows"`
+	Records   []struct {
+		Date        string `json:"date"`
+		Env         string `json:"env"`
+		GOMAXPROCS  int    `json:"gomaxprocs"`
+		Fingerprint string `json:"fingerprint_sha256"`
+		Variants    []struct {
+			Workers int     `json:"workers"`
+			NsPerOp int64   `json:"ns_per_op"`
+			Speedup float64 `json:"speedup_vs_1_worker"`
+		} `json:"variants"`
+	} `json:"records"`
+}
+
+// campaignFile mirrors BENCH_campaign.json.
+type campaignFile struct {
+	Benchmark string `json:"benchmark"`
+	Scenarios int    `json:"scenarios"`
+	Seeds     int    `json:"seeds"`
+	Nodes     int    `json:"nodes"`
+	Windows   int    `json:"windows"`
+	BeforeNs  int64  `json:"before_ns_per_op"`
+	Records   []struct {
+		Date        string  `json:"date"`
+		Env         string  `json:"env"`
+		GOMAXPROCS  int     `json:"gomaxprocs"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		Speedup     float64 `json:"speedup_vs_pre_optimization"`
+		CacheHits   uint64  `json:"charact_cache_hits"`
+		CacheMisses uint64  `json:"charact_cache_misses"`
+	} `json:"records"`
+}
+
+func load(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func renderFleet(out io.Writer, path string) error {
+	var f fleetFile
+	if err := load(path, &f); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n## %s (%d nodes × %d windows)\n\n", f.Benchmark, f.Nodes, f.Windows)
+	fmt.Fprintf(out, "| run | date | env | gomaxprocs | ns/op @1w | best ns/op | best speedup |\n")
+	fmt.Fprintf(out, "|----:|------|-----|-----------:|----------:|-----------:|-------------:|\n")
+	var series []float64
+	for i, r := range f.Records {
+		var oneW, best int64
+		var bestSpeed float64
+		for _, v := range r.Variants {
+			if v.Workers == 1 {
+				oneW = v.NsPerOp
+			}
+			if best == 0 || v.NsPerOp < best {
+				best = v.NsPerOp
+			}
+			if v.Speedup > bestSpeed {
+				bestSpeed = v.Speedup
+			}
+		}
+		fmt.Fprintf(out, "| %d | %s | %s | %d | %s | %s | %.2fx |\n",
+			i+1, orDash(r.Date), orDash(r.Env), r.GOMAXPROCS, ns(oneW), ns(best), bestSpeed)
+		series = append(series, float64(oneW))
+	}
+	fmt.Fprintf(out, "\nns/op @1 worker, run over run (lower is better):\n\n    %s\n", sparkline(series))
+	return nil
+}
+
+func renderCampaign(out io.Writer, path string) error {
+	var f campaignFile
+	if err := load(path, &f); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n## %s (%d presets × %d seeds, %d nodes × %d windows)\n\n",
+		f.Benchmark, f.Scenarios, f.Seeds, f.Nodes, f.Windows)
+	fmt.Fprintf(out, "pre-optimization reference: %s ns/op\n\n", ns(f.BeforeNs))
+	fmt.Fprintf(out, "| run | date | env | gomaxprocs | ns/op | speedup vs pre-opt | cache hits/misses |\n")
+	fmt.Fprintf(out, "|----:|------|-----|-----------:|------:|-------------------:|------------------:|\n")
+	var series []float64
+	for i, r := range f.Records {
+		fmt.Fprintf(out, "| %d | %s | %s | %d | %s | %.2fx | %d/%d |\n",
+			i+1, orDash(r.Date), orDash(r.Env), r.GOMAXPROCS, ns(r.NsPerOp), r.Speedup, r.CacheHits, r.CacheMisses)
+		series = append(series, float64(r.NsPerOp))
+	}
+	fmt.Fprintf(out, "\nns/op, run over run (lower is better):\n\n    %s\n", sparkline(series))
+	return nil
+}
+
+// ns renders nanoseconds human-readably (ms resolution).
+func ns(v int64) string {
+	if v == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0fms", float64(v)/1e6)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}
+
+// sparkline draws the series with the classic eight block glyphs,
+// scaled min→max; a flat series renders mid-height.
+func sparkline(series []float64) string {
+	if len(series) == 0 {
+		return "(no records)"
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := series[0], series[0]
+	for _, v := range series {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range series {
+		idx := len(glyphs) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}

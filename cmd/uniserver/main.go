@@ -26,6 +26,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,7 +68,15 @@ func run() error {
 		"campaign: concurrent grid cells (0 = GOMAXPROCS); workers pull cells as they free up, results stay in grid order")
 	shareCharact := flag.Bool("share-charact", true,
 		"campaign: share pre-deployment characterization across cells via ecosystem snapshots (byte-identical results, several-fold faster; disable to measure the uncached cost)")
+	charactDir := flag.String("charact-dir", "",
+		"campaign: spill characterization snapshots to this versioned cache dir so separate runs (CLI, CI) share them across processes; refuses a dir written by a different snapshot-format version")
 	reportPath := flag.String("report", "", "campaign: write the machine-readable JSON report to this file")
+	lifetimeSpec := flag.String("lifetime", "",
+		"run a multi-epoch lifetime 'EPOCHSxGAPDAYS' (e.g. 4x90): each epoch simulates -windows windows, gaps fast-forward aging between them")
+	gapDuty := flag.Float64("gap-duty", 0.6,
+		"lifetime: mean silicon stress (activity) across fast-forward gaps, in [0,1]")
+	recharactEvery := flag.Int("recharact-every", 0,
+		"lifetime: scheduled re-characterization cadence in days (0 = the core default, ~75 days); campaigns run at epoch entries when due")
 	flag.Parse()
 
 	// Which flags did the user set explicitly? -nodes/-windows double
@@ -112,6 +121,9 @@ func run() error {
 		if set["mode"] || set["risk"] {
 			return fmt.Errorf("scenarios declare their own mode and risk target; -mode/-risk do not apply")
 		}
+		if set["lifetime"] || set["recharact-every"] || set["gap-duty"] {
+			return fmt.Errorf("scenarios declare their own lifetime (see the aging-year and recharact-* presets); -lifetime/-recharact-every/-gap-duty do not apply")
+		}
 	} else {
 		if *nodes > 1 && *closedLoop {
 			return fmt.Errorf("-closed-loop only applies to -nodes 1; the fleet engine always runs the supervised loop")
@@ -137,6 +149,23 @@ func run() error {
 	}
 	if set["share-charact"] && *campaignSpec == "" {
 		return fmt.Errorf("-share-charact only applies to -campaign; single runs have nothing to share")
+	}
+	if *charactDir != "" && *campaignSpec == "" {
+		return fmt.Errorf("-charact-dir only applies to -campaign")
+	}
+	if *charactDir != "" && !*shareCharact {
+		return fmt.Errorf("-charact-dir needs -share-charact=true (the dir spills the shared snapshot cache)")
+	}
+	if (set["recharact-every"] || set["gap-duty"]) && *lifetimeSpec == "" {
+		return fmt.Errorf("-recharact-every and -gap-duty only apply with -lifetime")
+	}
+	var plan *core.LifetimePlan
+	if *lifetimeSpec != "" {
+		p, err := parseLifetime(*lifetimeSpec, *windows, *gapDuty, *recharactEvery)
+		if err != nil {
+			return err
+		}
+		plan = &p
 	}
 
 	// The health log must be closed (flushing the JSON lines) on every
@@ -183,19 +212,53 @@ func run() error {
 			return err
 		}
 	case *campaignSpec != "":
-		if err := runCampaign(*campaignSpec, nodesOverride, windowsOverride, *seed, *seedCount, *workers, *parallel, *shareCharact, *reportPath); err != nil {
+		if err := runCampaign(*campaignSpec, nodesOverride, windowsOverride, *seed, *seedCount, *workers, *parallel, *shareCharact, *charactDir, *reportPath); err != nil {
 			return err
 		}
 	case *nodes > 1:
-		if err := runFleet(*nodes, *workers, *seed, m, *risk, *windows, *compare, healthOut); err != nil {
+		if err := runFleet(*nodes, *workers, *seed, m, *risk, *windows, *compare, plan, healthOut); err != nil {
 			return err
 		}
 	default:
-		if err := runSingleNode(*seed, m, *risk, *windows, *closedLoop, healthOut); err != nil {
+		if err := runSingleNode(*seed, m, *risk, *windows, *closedLoop, plan, healthOut); err != nil {
 			return err
 		}
 	}
 	return closeHealthLog()
+}
+
+// parseLifetime turns the -lifetime 'EPOCHSxGAPDAYS' spec plus the
+// cadence flags into a core plan: uniform epochs of `windows` windows
+// each, identical gaps.
+func parseLifetime(spec string, windows int, duty float64, recharactDays int) (core.LifetimePlan, error) {
+	parts := strings.SplitN(spec, "x", 2)
+	if len(parts) != 2 {
+		return core.LifetimePlan{}, fmt.Errorf("-lifetime wants EPOCHSxGAPDAYS (e.g. 4x90), got %q", spec)
+	}
+	epochs, err1 := strconv.Atoi(parts[0])
+	gapDays, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || epochs < 2 {
+		return core.LifetimePlan{}, fmt.Errorf("-lifetime wants EPOCHSxGAPDAYS with at least 2 epochs, got %q", spec)
+	}
+	plan := core.UniformPlan(epochs, windows, gapDays, duty)
+	plan.RecharactEvery = time.Duration(recharactDays) * 24 * time.Hour
+	if err := plan.Validate(); err != nil {
+		return core.LifetimePlan{}, err
+	}
+	return plan, nil
+}
+
+// printTrajectory renders a node's per-epoch margin trajectory.
+func printTrajectory(epochs []core.EpochSummary, finalAge float64) {
+	for _, ep := range epochs {
+		gap := "deployment"
+		if ep.GapDays > 0 {
+			gap = fmt.Sprintf("+%d days", ep.GapDays)
+		}
+		fmt.Printf("    epoch %d (%-10s): age drift %5.1f mV, safe point %d mV, %d windows, %d re-characterizations\n",
+			ep.Epoch, gap, ep.AgeShiftMV, ep.SafeVoltageMV, ep.Windows, ep.Recharacterized)
+	}
+	fmt.Printf("    end of life: +%.1f mV accumulated critical-voltage drift\n", finalAge)
 }
 
 // runScenario runs one preset (optionally rescaled) and prints its
@@ -236,6 +299,11 @@ func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, w
 		fmt.Printf("    %-14s %-9s crashes %2d  eop %3d/%d  saved %7.2f Wh  safe %d mV\n",
 			n.Name, n.Model, n.Crashes, n.WindowsAtEOP, sum.Windows, n.EnergySavedWh, n.FinalSafeVoltageMV)
 	}
+	if len(sum.PerNode) > 0 && len(sum.PerNode[0].Epochs) > 0 {
+		fmt.Printf("\n  margin trajectory (%s; %d re-characterizations fleet-wide):\n",
+			sum.PerNode[0].Name, sum.Recharacterized)
+		printTrajectory(sum.PerNode[0].Epochs, sum.PerNode[0].FinalAgeShiftMV)
+	}
 	fp := sha256.Sum256([]byte(sum.Fingerprint()))
 	fmt.Printf("\nfingerprint sha256:%s\n", hex.EncodeToString(fp[:]))
 	fmt.Println("(same preset + same seed => same fingerprint, at any -workers)")
@@ -244,7 +312,7 @@ func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, w
 
 // runCampaign assembles the requested scenario×seed grid, fans it out
 // in parallel, and prints the comparative table.
-func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, seedCount, workers, parallel int, shareCharact bool, reportPath string) error {
+func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, seedCount, workers, parallel int, shareCharact bool, charactDir, reportPath string) error {
 	if seedCount <= 0 {
 		return fmt.Errorf("-seeds must be positive")
 	}
@@ -279,6 +347,7 @@ func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, s
 	camp.FleetWorkers = workers
 	camp.Parallel = parallel
 	camp.DisableCharactShare = !shareCharact
+	camp.CharactDir = charactDir
 
 	fmt.Printf("== campaign: %d scenarios x %d seeds (%d cells, %d-way parallel, charact sharing %s) ==\n",
 		len(camp.Scenarios), len(camp.Seeds), len(camp.Scenarios)*len(camp.Seeds), camp.EffectiveParallel(),
@@ -288,24 +357,31 @@ func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, s
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %5s %7s %9s %8s %7s %6s %5s %6s %10s  %s\n",
-		"SCENARIO", "RUNS", "AVAIL", "KWH", "SAVED_WH", "TEMP_C", "CRASH", "MIGR", "SLA", "SCHED/REJ", "FINGERPRINT")
+	fmt.Printf("%-16s %5s %7s %9s %8s %7s %6s %5s %6s %5s %6s %10s  %s\n",
+		"SCENARIO", "RUNS", "AVAIL", "KWH", "SAVED_WH", "TEMP_C", "CRASH", "MIGR", "SLA", "RECH", "AGE_MV", "SCHED/REJ", "FINGERPRINT")
 	for _, sr := range rep.Scenarios {
-		fmt.Printf("%-16s %5d %7.4f %9.3f %8.2f %7.1f %6d %5d %6d %6d/%-3d  %.12s\n",
+		fmt.Printf("%-16s %5d %7.4f %9.3f %8.2f %7.1f %6d %5d %6d %5d %6.1f %6d/%-3d  %.12s\n",
 			sr.Scenario, sr.Runs, sr.MeanAvailability, sr.EnergyKWh, sr.EnergySavedWh,
-			sr.MeanCPUTempC, sr.Crashes, sr.Migrations, sr.SLAViolations, sr.Scheduled, sr.Rejected,
-			sr.FingerprintSHA256)
+			sr.MeanCPUTempC, sr.Crashes, sr.Migrations, sr.SLAViolations, sr.Recharacterized,
+			sr.MeanFinalAgeShiftMV, sr.Scheduled, sr.Rejected, sr.FingerprintSHA256)
 	}
 	fmt.Printf("\ncampaign fingerprint sha256:%s  (%v wall-clock)\n",
 		rep.FingerprintSHA256, time.Since(start).Round(time.Millisecond))
 	if shareCharact {
 		hits, misses := rep.CharactCacheHits, rep.CharactCacheMisses
 		reuse := 1.0
-		if misses > 0 {
-			reuse = float64(hits+misses) / float64(misses)
+		if work := misses + rep.CharactDiskHits; work > 0 {
+			reuse = float64(hits+work) / float64(work)
 		}
 		fmt.Printf("snapshot cache: %d hits / %d misses across %d-way parallel cells (%.1fx characterization reuse)\n",
 			hits, misses, rep.EffectiveParallel, reuse)
+		if charactDir != "" {
+			fmt.Printf("snapshot cache dir %s: %d entries served from disk (characterizations shared across processes)\n",
+				charactDir, rep.CharactDiskHits)
+			if rep.CharactDiskErr != "" {
+				fmt.Printf("WARNING: snapshot cache dir is not accumulating: %s\n", rep.CharactDiskErr)
+			}
+		}
 	} else {
 		fmt.Printf("snapshot cache: disabled (-share-charact=false); every cell characterized its own nodes\n")
 	}
@@ -328,20 +404,26 @@ func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, s
 
 // runFleet drives the concurrent multi-node engine and prints the
 // aggregate fleet summary.
-func runFleet(nodes, workers int, seed uint64, m vfr.Mode, risk float64, windows int, compare bool, healthOut *os.File) error {
+func runFleet(nodes, workers int, seed uint64, m vfr.Mode, risk float64, windows int, compare bool, plan *core.LifetimePlan, healthOut *os.File) error {
 	cfg := fleet.DefaultConfig(nodes)
 	cfg.Workers = workers
 	cfg.Seed = seed
 	cfg.Mode = m
 	cfg.RiskTarget = risk
 	cfg.Windows = windows
+	cfg.Lifetime = plan
 	if healthOut != nil {
 		cfg.HealthLogOut = healthOut
 	}
 
 	fmt.Printf("== UniServer fleet: %d nodes, %d workers (GOMAXPROCS %d), seed %d ==\n",
 		nodes, fleet.EffectiveWorkers(workers, nodes), runtime.GOMAXPROCS(0), seed)
-	fmt.Printf("\n[1/2] parallel pre-deployment characterization + %d runtime epochs\n", windows)
+	if plan != nil {
+		fmt.Printf("\n[1/2] parallel characterization + %d-epoch lifetime (%d windows per epoch, %d-day gaps)\n",
+			plan.Epochs(), windows, plan.Gaps[0].Days)
+	} else {
+		fmt.Printf("\n[1/2] parallel pre-deployment characterization + %d runtime epochs\n", windows)
+	}
 
 	sum, err := fleet.Run(cfg)
 	if err != nil {
@@ -383,12 +465,16 @@ func runFleet(nodes, workers int, seed uint64, m vfr.Mode, risk float64, windows
 		fmt.Printf("    %-14s crashes %2d  eop %3d/%d  saved %7.2f Wh  safe %d mV\n",
 			n.Name, n.Crashes, n.WindowsAtEOP, sum.Windows, n.EnergySavedWh, n.FinalSafeVoltageMV)
 	}
+	if plan != nil && len(sum.PerNode) > 0 && len(sum.PerNode[0].Epochs) > 0 {
+		fmt.Printf("\n  margin trajectory (%s):\n", sum.PerNode[0].Name)
+		printTrajectory(sum.PerNode[0].Epochs, sum.PerNode[0].FinalAgeShiftMV)
+	}
 	fmt.Println("\ndone: fleet ran at extended operating points with reliability-aware scheduling")
 	return nil
 }
 
 // runSingleNode is the original one-node narration.
-func runSingleNode(seed uint64, m vfr.Mode, risk float64, windows int, closedLoop bool, healthOut *os.File) error {
+func runSingleNode(seed uint64, m vfr.Mode, risk float64, windows int, closedLoop bool, plan *core.LifetimePlan, healthOut *os.File) error {
 	opts := core.DefaultOptions()
 	opts.Seed = seed
 	opts.Mem = dram.Config{Channels: 4, DIMMsPerChannel: 1, DIMMBytes: 8 << 30, DeviceGb: 2, TempC: 45}
@@ -427,6 +513,22 @@ func runSingleNode(seed uint64, m vfr.Mode, risk float64, windows int, closedLoo
 		rep.PredictorAcc*100, rep.PredictorSamples)
 
 	wl := workload.WebFrontend()
+	if plan != nil {
+		fmt.Printf("\n[2/3] supervised lifetime: %d epochs x %d windows, %d-day gaps, %s mode\n",
+			plan.Epochs(), windows, plan.Gaps[0].Days, m)
+		sum, err := eco.RunLifetime(m, risk, wl, *plan)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  windows at EOP / nominal:  %d / %d\n", sum.WindowsAtEOP, sum.WindowsAtNominal)
+		fmt.Printf("  crashes (all recovered):   %d\n", sum.Crashes)
+		fmt.Printf("  re-characterizations:      %d\n", sum.Recharacterized)
+		fmt.Printf("  energy saved:              %.2f Wh\n", sum.EnergySavedWh)
+		fmt.Println("  margin trajectory:")
+		printTrajectory(sum.Epochs, sum.FinalAgeShiftMV)
+		fmt.Println("\n[3/3] done: the EOP table tracked the aging margins across the lifetime")
+		return nil
+	}
 	if closedLoop {
 		fmt.Printf("\n[2/3] supervised closed-loop deployment: %s mode, %d windows\n", m, windows)
 		sum, err := eco.RunDeployment(m, risk, wl, windows)

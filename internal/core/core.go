@@ -117,8 +117,12 @@ type Ecosystem struct {
 	worstMargin vfr.Margin
 
 	// windowsRun counts RuntimeWindow invocations; Snapshot refuses to
-	// capture once it is non-zero (see snapshot.go).
-	windowsRun int
+	// capture once it is non-zero, unless the ecosystem sits on an
+	// epoch boundary (see snapshot.go). atEpochBoundary is set by
+	// FastForward — which re-seats the thermal state at ambient, the
+	// property Restore relies on — and cleared by the next window.
+	windowsRun      int
+	atEpochBoundary bool
 
 	// Per-window scratch state, owned by RuntimeWindow. None of it is
 	// observable between windows; it exists so steady-state stepping
@@ -394,6 +398,7 @@ type WindowReport struct {
 // caller can fall back to nominal and trigger re-characterization.
 func (e *Ecosystem) RuntimeWindow(wl workload.Profile) WindowReport {
 	e.windowsRun++
+	e.atEpochBoundary = false
 	e.Clock.Advance(time.Minute)
 	var rep WindowReport
 	point := e.Hypervisor.Point()

@@ -65,6 +65,10 @@ type DeploymentSummary struct {
 	MeanCPUTempC       float64
 	FinalAgeShiftMV    float64
 	FinalSafeVoltageMV int
+	// Epochs is the per-epoch margin trajectory of a multi-epoch
+	// lifetime (nil for plain single-epoch deployments, so existing
+	// summaries — and their fingerprints — are untouched).
+	Epochs []EpochSummary `json:"epochs,omitempty"`
 }
 
 // Deployment is a supervised closed-loop deployment in progress: the
@@ -83,6 +87,17 @@ type Deployment struct {
 	nominalW float64
 	tempSumC float64
 	sum      DeploymentSummary
+
+	// Lifetime trajectory bookkeeping (lifetime.go): epochs holds the
+	// closed epochs, the epoch* fields describe the one in progress.
+	// The trajectory only materializes in Summary once FastForward has
+	// run at least once, so single-epoch deployments are unchanged.
+	epochs            []EpochSummary
+	epochGapDays      int
+	epochStartWindows int
+	epochStartRechar  int
+	epochEntryAge     float64
+	epochEntrySafe    int
 }
 
 // StartDeployment enters the requested mode and returns a stepper for
@@ -91,14 +106,19 @@ func (e *Ecosystem) StartDeployment(mode vfr.Mode, riskTarget float64, wl worklo
 	if _, err := e.EnterMode(mode, riskTarget, wl); err != nil {
 		return nil, err
 	}
-	return &Deployment{
-		eco:      e,
-		mode:     mode,
-		risk:     riskTarget,
-		wl:       wl,
-		aging:    silicon.DefaultAgingModel(),
-		nominalW: e.power.TotalW(e.Machine.Spec.Nominal, wl.CPUActivity, 55),
-	}, nil
+	d := &Deployment{
+		eco:           e,
+		mode:          mode,
+		risk:          riskTarget,
+		wl:            wl,
+		aging:         silicon.DefaultAgingModel(),
+		nominalW:      e.power.TotalW(e.Machine.Spec.Nominal, wl.CPUActivity, 55),
+		epochEntryAge: e.Machine.Chip.AgeShiftMV,
+	}
+	if m, err := e.worstCPUMargin(); err == nil {
+		d.epochEntrySafe = m.Safe.VoltageMV
+	}
+	return d, nil
 }
 
 // Step advances the deployment by one observation window, implementing
@@ -143,11 +163,7 @@ func (d *Deployment) Step() (WindowReport, error) {
 		needCampaign = true
 	}
 	if needCampaign {
-		if _, err := e.Recharacterize(); err != nil {
-			return rep, err
-		}
-		d.sum.Recharacterized++
-		if _, err := e.EnterMode(d.mode, d.risk, d.wl); err != nil {
+		if err := d.RecharacterizeNow(); err != nil {
 			return rep, err
 		}
 	}
@@ -191,6 +207,11 @@ func (d *Deployment) Summary() DeploymentSummary {
 	sum.FinalAgeShiftMV = d.eco.Machine.Chip.AgeShiftMV
 	if m, err := d.eco.worstCPUMargin(); err == nil {
 		sum.FinalSafeVoltageMV = m.Safe.VoltageMV
+	}
+	if len(d.epochs) > 0 {
+		// Multi-epoch lifetime: close the in-progress epoch into a copy
+		// of the trajectory (Summary must not mutate the deployment).
+		sum.Epochs = append(append([]EpochSummary(nil), d.epochs...), d.openEpochRow())
 	}
 	return sum
 }

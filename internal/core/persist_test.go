@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"uniserver/internal/vfr"
+	"uniserver/internal/workload"
+)
+
+// TestSnapshotDiskRoundTrip is the disk-spill correctness pin: a
+// snapshot serialized through Save and read back must restore an
+// ecosystem whose entire forward behaviour — mode entry, every window
+// report, the deployment summary, the health-log bytes — is
+// bit-identical to a restore of the original in-memory snapshot.
+func TestSnapshotDiskRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow; skipping in -short")
+	}
+	eco, err := New(lifetimeTestOptions(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eco.PreDeployment(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eco.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var logA, logB bytes.Buffer
+	a, err := snap.Restore(RestoreOptions{HealthLogOut: &logA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Restore(RestoreOptions{HealthLogOut: &logB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.WebFrontend()
+	da, err := a.StartDeployment(vfr.ModeHighPerformance, 0.01, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.StartDeployment(vfr.ModeHighPerformance, 0.01, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Include a gap so the deserialized stream positions, VRT index
+	// and stress schedule all get exercised, not just the first
+	// windows.
+	gap := Gap{Days: 80, Duty: 0.6, AmbientCPUC: 35, AmbientDIMMC: 41}
+	for _, d := range []*Deployment{da, db} {
+		for w := 0; w < 6; w++ {
+			if _, err := d.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.FastForward(gap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.MaybeRecharacterize(); err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < 6; w++ {
+			if _, err := d.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sa, sb := da.Summary(), db.Summary()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("deserialized snapshot diverged from the in-memory one:\n%+v\n%+v", sa, sb)
+	}
+	if sa.Recharacterized == 0 {
+		t.Fatal("round trip exercised no re-characterization; the comparison proves too little")
+	}
+	if !bytes.Equal(logA.Bytes(), logB.Bytes()) {
+		t.Fatal("health-log bytes diverged between in-memory and disk restores")
+	}
+	if a.Table().Len() != b.Table().Len() {
+		t.Fatalf("EOP tables diverged: %d vs %d components", a.Table().Len(), b.Table().Len())
+	}
+}
+
+// TestLoadSnapshotRefusesMismatchedVersion pins the version gate.
+func TestLoadSnapshotRefusesMismatchedVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(SnapshotFormatVersion + 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("mismatched snapshot version accepted")
+	}
+}
+
+// TestSaveRefusesPostDeploymentState: disk persistence covers the
+// pre-deployment characterization checkpoint only; snapshots taken
+// after mode entry (or mid-life) carry hypervisor state the wire form
+// does not model and must refuse loudly.
+func TestSaveRefusesPostDeploymentState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow; skipping in -short")
+	}
+	eco, err := New(lifetimeTestOptions(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eco.PreDeployment(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eco.EnterMode(vfr.ModeHighPerformance, 0.01, workload.WebFrontend()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eco.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("serialized a snapshot taken after mode entry")
+	}
+}

@@ -25,15 +25,16 @@ import (
 // independent of each other and of the snapshot source: no mutable
 // state is shared, so restored ecosystems can be stepped concurrently.
 //
-// Take the snapshot after PreDeployment and before the first runtime
-// window. Restore re-seats the thermal nodes at the requested ambient
-// (every other field is copied verbatim), and before any window has
-// run the thermal nodes sit exactly at ambient — so a restored
-// ecosystem is indistinguishable, stream for stream and byte for
-// byte, from one freshly built and characterized with the same
-// options. Snapshotting mid-deployment would lose the accumulated
-// die/DIMM temperatures, so Snapshot refuses it with an error rather
-// than corrupting restores silently.
+// Take the snapshot when the thermal state is re-derivable from
+// ambient: after PreDeployment and before the first runtime window,
+// or — since the lifetime engine — on an epoch boundary right after a
+// fast-forward gap, which re-seats the thermal nodes at ambient
+// exactly as Restore does. In both positions a restored ecosystem is
+// indistinguishable, stream for stream and byte for byte, from its
+// source (pass the source's current ambient in RestoreOptions for
+// mid-life snapshots). Snapshotting mid-epoch would lose the
+// accumulated die/DIMM temperatures, so Snapshot refuses it with an
+// error rather than corrupting restores silently.
 type Snapshot struct {
 	proto *Ecosystem
 }
@@ -41,11 +42,12 @@ type Snapshot struct {
 // Snapshot captures the ecosystem's current state. The capture is
 // itself a deep copy, so the live ecosystem can keep running (or be
 // discarded) without disturbing later Restores. It returns an error
-// once any runtime window has run: Restore re-derives the thermal
-// nodes from ambient, which is exact only pre-deployment.
+// when runtime windows have run and the ecosystem is not on an epoch
+// boundary: Restore re-derives the thermal nodes from ambient, which
+// is exact only where the thermal state already sits at ambient.
 func (e *Ecosystem) Snapshot() (*Snapshot, error) {
-	if e.windowsRun > 0 {
-		return nil, fmt.Errorf("core: snapshot after %d runtime windows is unsupported (thermal state would be lost on restore); snapshot between PreDeployment and the first window", e.windowsRun)
+	if e.windowsRun > 0 && !e.atEpochBoundary {
+		return nil, fmt.Errorf("core: snapshot after %d runtime windows is unsupported mid-epoch (thermal state would be lost on restore); snapshot before the first window or on a fast-forward epoch boundary", e.windowsRun)
 	}
 	proto, err := e.clone(nil)
 	if err != nil {
@@ -134,18 +136,19 @@ func (e *Ecosystem) clone(out io.Writer) (*Ecosystem, error) {
 		Model:      &model,
 		Hypervisor: hyp,
 
-		opts:        opts,
-		src:         &src,
-		power:       e.power,
-		refresh:     e.refresh,
-		mode:        e.mode,
-		cpuTherm:    &thermal.Node{},
-		memTherm:    &thermal.Node{},
-		trip:        e.trip,
-		worstComp:   e.worstComp,
-		worstMargin: e.worstMargin,
-		windowsRun:  e.windowsRun,
-		dramHits:    make(map[string]int),
+		opts:            opts,
+		src:             &src,
+		power:           e.power,
+		refresh:         e.refresh,
+		mode:            e.mode,
+		cpuTherm:        &thermal.Node{},
+		memTherm:        &thermal.Node{},
+		trip:            e.trip,
+		worstComp:       e.worstComp,
+		worstMargin:     e.worstMargin,
+		windowsRun:      e.windowsRun,
+		atEpochBoundary: e.atEpochBoundary,
+		dramHits:        make(map[string]int),
 	}
 	*c.cpuTherm = *e.cpuTherm
 	*c.memTherm = *e.memTherm

@@ -176,6 +176,19 @@ func (m *Machine) Clone() *Machine {
 	return &Machine{Spec: m.Spec, Chip: m.Chip.Clone(), src: &src}
 }
 
+// StreamState returns the measurement stream's position — the
+// persistence hook snapshot serialization uses alongside the chip's
+// exported state.
+func (m *Machine) StreamState() uint64 { return m.src.State() }
+
+// RestoreMachine reassembles a machine from serialized parts: the
+// part spec, the fabricated (and possibly aged) chip, and the
+// measurement-stream position StreamState captured. The result runs
+// the exact sweep sequence the source machine would have.
+func RestoreMachine(spec PartSpec, chip *silicon.Chip, stream uint64) *Machine {
+	return &Machine{Spec: spec, Chip: chip, src: rng.FromState(stream)}
+}
+
 // droopMV samples the workload-induced droop for one run.
 func (m *Machine) droopMV(b Benchmark) float64 {
 	base := m.Spec.DroopMinMV + b.DroopIntensity*(m.Spec.DroopMaxMV-m.Spec.DroopMinMV)

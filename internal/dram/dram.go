@@ -356,23 +356,71 @@ func (ms *MemorySystem) effectiveRetention(c WeakCell) float64 {
 }
 
 // toggleVRT advances the random-telegraph state of every VRT cell in
-// the domain by one observation window. Fabricated DIMMs carry a VRT
-// index, so only the ~10% VRT minority is visited; the Bernoulli draw
-// order (cell order) is identical to the full scan, so the stream —
-// and therefore every downstream fingerprint — is unchanged.
+// the domain by one observation window.
 func toggleVRT(dom *Domain, src *rng.Source) {
+	toggleVRTWith(dom, VRTToggleProb, src)
+}
+
+// toggleVRTWith is the single telegraph walker behind the fine
+// (per-window) and coarse (fast-forward) toggles: one Bernoulli(p)
+// draw per VRT cell. Fabricated DIMMs carry a VRT index, so only the
+// ~10% VRT minority is visited; the draw order (cell order) is
+// identical to the full-scan fallback, so the stream — and therefore
+// every downstream fingerprint — is the same on both paths.
+func toggleVRTWith(dom *Domain, p float64, src *rng.Source) {
 	for _, dimm := range dom.DIMMs {
 		if dimm.vrt != nil {
 			for _, i := range dimm.vrt {
-				if src.Bernoulli(VRTToggleProb) {
+				if src.Bernoulli(p) {
 					dimm.Weak[i].LowState = !dimm.Weak[i].LowState
 				}
 			}
 			continue
 		}
 		for i := range dimm.Weak {
-			if dimm.Weak[i].AltRetentionSec > 0 && src.Bernoulli(VRTToggleProb) {
+			if dimm.Weak[i].AltRetentionSec > 0 && src.Bernoulli(p) {
 				dimm.Weak[i].LowState = !dimm.Weak[i].LowState
+			}
+		}
+	}
+}
+
+// CoarseToggleProb returns the probability that a VRT cell sits in the
+// opposite telegraph state after `windows` back-to-back observation
+// windows: the closed form of `windows` independent Bernoulli(p)
+// toggles, 0.5·(1−(1−2p)^n). It is what lets a lifetime fast-forward
+// advance months of random-telegraph switching in one draw per cell
+// instead of stepping half a million windows.
+func CoarseToggleProb(windows int) float64 {
+	if windows <= 0 {
+		return 0
+	}
+	return 0.5 * (1 - math.Pow(1-2*VRTToggleProb, float64(windows)))
+}
+
+// ToggleVRTCoarse advances every VRT cell in the domain by `windows`
+// observation windows' worth of telegraph switching in a single
+// Bernoulli draw per cell (probability CoarseToggleProb(windows)).
+// It walks the cells exactly like the fine per-window toggle — same
+// walker, different probability — so the draw sequence is a pure
+// function of the source stream and the fabricated population.
+func ToggleVRTCoarse(dom *Domain, windows int, src *rng.Source) {
+	toggleVRTWith(dom, CoarseToggleProb(windows), src)
+}
+
+// Reindex rebuilds every DIMM's private VRT index from its weak-cell
+// population. Deserialized memory systems call it once after decoding:
+// the index is a pure derivation of the exported cells (the wire
+// format does not carry it), and without it the per-window telegraph
+// toggle would fall back to the full weak-cell scan.
+func (ms *MemorySystem) Reindex() {
+	for _, dom := range ms.Domains {
+		for _, dimm := range dom.DIMMs {
+			dimm.vrt = dimm.vrt[:0]
+			for i := range dimm.Weak {
+				if dimm.Weak[i].AltRetentionSec > 0 {
+					dimm.vrt = append(dimm.vrt, i)
+				}
 			}
 		}
 	}

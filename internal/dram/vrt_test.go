@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -121,4 +122,91 @@ func TestVRTJustifiesDerate(t *testing.T) {
 	}
 	t.Logf("field run: %d error windows at observed-safe %v, 0 at derated %v",
 		atMax, maxSafe, maxSafe/2)
+}
+
+// TestCoarseToggleProbClosedForm pins the fast-forward closed form
+// against brute-force window stepping: after n windows a cell has
+// flipped iff it toggled an odd number of times, whose probability is
+// 0.5*(1-(1-2p)^n).
+func TestCoarseToggleProbClosedForm(t *testing.T) {
+	if got := CoarseToggleProb(0); got != 0 {
+		t.Fatalf("zero windows should never flip, got %g", got)
+	}
+	if got, want := CoarseToggleProb(1), VRTToggleProb; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("single window flip prob %g, want %g", got, want)
+	}
+	// Recurrence check: q(n+1) = q(n)*(1-p) + (1-q(n))*p.
+	q := 0.0
+	for n := 1; n <= 64; n++ {
+		q = q*(1-VRTToggleProb) + (1-q)*VRTToggleProb
+		if got := CoarseToggleProb(n); math.Abs(got-q) > 1e-12 {
+			t.Fatalf("CoarseToggleProb(%d) = %g, recurrence gives %g", n, got, q)
+		}
+	}
+	// A full day of windows fully mixes the telegraph state.
+	if got := CoarseToggleProb(24 * 60); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("day-scale toggle prob %g, want ~0.5", got)
+	}
+}
+
+// TestToggleVRTCoarseTouchesOnlyVRT checks the coarse toggle flips
+// only VRT cells and matches the index-free path draw for draw.
+func TestToggleVRTCoarseTouchesOnlyVRT(t *testing.T) {
+	model := DefaultRetentionModel()
+	mkDom := func(seed uint64) *Domain {
+		return &Domain{
+			Name:    "d",
+			DIMMs:   []*DIMM{NewDIMM(1<<30, 2, model, rng.New(seed))},
+			Refresh: 64 * time.Millisecond,
+		}
+	}
+	a, b := mkDom(7), mkDom(7)
+	// Strip b's index so it exercises the fallback scan; the resulting
+	// states must be identical (same Bernoulli order).
+	for _, dimm := range b.DIMMs {
+		dimm.vrt = nil
+	}
+	ToggleVRTCoarse(a, 90*24*60, rng.New(3))
+	ToggleVRTCoarse(b, 90*24*60, rng.New(3))
+	for di, dimm := range a.DIMMs {
+		for i, cell := range dimm.Weak {
+			other := b.DIMMs[di].Weak[i]
+			if cell.LowState != other.LowState {
+				t.Fatalf("indexed and fallback coarse toggles diverged at cell %d", i)
+			}
+			if cell.AltRetentionSec == 0 && cell.LowState {
+				t.Fatalf("coarse toggle flipped a non-VRT cell %d", i)
+			}
+		}
+	}
+}
+
+// TestReindexRebuildsVRTIndex checks a cleared index is rebuilt
+// equivalent to the fabricated one: the indexed fast path and a
+// freshly reindexed system produce identical toggles.
+func TestReindexRebuildsVRTIndex(t *testing.T) {
+	model := DefaultRetentionModel()
+	ms, err := New(Config{Channels: 2, DIMMsPerChannel: 1, DIMMBytes: 1 << 30, DeviceGb: 2, TempC: 45},
+		model, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ms.Clone()
+	for _, dom := range ms.Domains {
+		for _, dimm := range dom.DIMMs {
+			dimm.vrt = nil
+		}
+	}
+	ms.Reindex()
+	for di, dom := range ms.Domains {
+		ToggleVRTCoarse(dom, 1440, rng.New(5))
+		ToggleVRTCoarse(ref.Domains[di], 1440, rng.New(5))
+		for dj, dimm := range dom.DIMMs {
+			for i := range dimm.Weak {
+				if dimm.Weak[i].LowState != ref.Domains[di].DIMMs[dj].Weak[i].LowState {
+					t.Fatalf("reindexed toggle diverged at domain %d dimm %d cell %d", di, dj, i)
+				}
+			}
+		}
+	}
 }

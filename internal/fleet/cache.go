@@ -30,7 +30,14 @@ type CharactCache struct {
 	mu      sync.Mutex
 	entries map[string]*charactEntry
 
-	hits, misses atomic.Uint64
+	// dir, when non-empty, roots the on-disk spill (diskcache.go):
+	// characterized snapshots persist across processes, and keys not
+	// yet seen in memory are first sought on disk. diskErr retains the
+	// first best-effort spill failure for the CLI to surface.
+	dir     string
+	diskErr error
+
+	hits, misses, diskHits atomic.Uint64
 }
 
 // charactEntry is one key's characterization outcome. once gates the
@@ -50,15 +57,18 @@ func NewCharactCache() *CharactCache {
 }
 
 // CacheStats counts cache outcomes: a miss is a characterization
-// actually run, a hit is a node served from an existing snapshot.
+// actually run, a hit is a node served from an in-memory snapshot,
+// and a disk hit is a key's first consumer served from the attached
+// spill directory instead of re-running the campaign.
 type CacheStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	DiskHits uint64 `json:"disk_hits,omitempty"`
 }
 
 // Stats returns the cache's hit/miss counters.
 func (c *CharactCache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), DiskHits: c.diskHits.Load()}
 }
 
 // entry returns (creating if needed) the slot for key.
@@ -84,9 +94,19 @@ func (c *CharactCache) characterized(key string, wantLog bool,
 	characterize func(out io.Writer) (*core.Ecosystem, core.PreDeploymentReport, error),
 ) (*core.Snapshot, core.PreDeploymentReport, []byte, error) {
 	e := c.entry(key)
-	ran := false
+	ran, fromDisk := false, false
 	e.once.Do(func() {
 		ran = true
+		// The attached spill directory serves a key's first consumer
+		// in this process when another process already characterized
+		// it; anything unreadable falls through to a fresh run.
+		if c.spillDir() != "" {
+			if snap, pre, log, ok := c.loadDisk(key); ok {
+				fromDisk = true
+				e.snap, e.pre, e.log = snap, pre, log
+				return
+			}
+		}
 		var buf *bytes.Buffer
 		var out io.Writer
 		if wantLog {
@@ -107,10 +127,16 @@ func (c *CharactCache) characterized(key string, wantLog bool,
 		if buf != nil {
 			e.log = buf.Bytes()
 		}
+		if c.spillDir() != "" {
+			c.spillDisk(key, snap, pre, e.log)
+		}
 	})
-	if ran {
+	switch {
+	case ran && fromDisk:
+		c.diskHits.Add(1)
+	case ran:
 		c.misses.Add(1)
-	} else {
+	default:
 		c.hits.Add(1)
 	}
 	return e.snap, e.pre, e.log, e.err

@@ -104,6 +104,16 @@ type Config struct {
 	// of a campaign — node seeds within a single run are all distinct,
 	// so a run-private cache only pays the snapshot overhead.
 	Charact *CharactCache
+
+	// Lifetime, when set, stretches every node's run across aging
+	// epochs: each epoch is a windowed simulation, separated by
+	// fast-forward gaps that advance the slow state (silicon aging,
+	// DRAM telegraph noise, season, the re-characterization schedule)
+	// without stepping windows, with cadence-driven campaigns at epoch
+	// entries. Windows is derived from the plan's TotalWindows; an
+	// explicit Windows value is ignored. The cloud layer sees the
+	// concatenated epoch windows — gaps carry no tenant traffic.
+	Lifetime *core.LifetimePlan
 }
 
 // NodeSpec is one node's complete configuration in a (possibly
@@ -252,6 +262,11 @@ type NodeSummary struct {
 	MeanCPUTempC       float64
 	EnergySavedWh      float64
 	FinalSafeVoltageMV int
+	// FinalAgeShiftMV and Epochs carry the lifetime engine's margin
+	// trajectory; Epochs is nil (and both are fingerprint-silent) for
+	// plain single-epoch runs, so pre-lifetime goldens are untouched.
+	FinalAgeShiftMV float64             `json:"FinalAgeShiftMV,omitempty"`
+	Epochs          []core.EpochSummary `json:"Epochs,omitempty"`
 }
 
 // Summary aggregates a fleet run. All fields except Workers and
@@ -314,6 +329,18 @@ func (s Summary) Fingerprint() string {
 			n.Name, n.Model, n.Seed, exactFloat(n.PredictorAcc), n.Crashes, n.Recharacterized,
 			n.WindowsAtEOP, n.CorrectableMasked, n.DRAMCorrected, exactFloat(n.MeanCPUTempC),
 			exactFloat(n.EnergySavedWh), n.FinalSafeVoltageMV)
+		// Lifetime runs make the margin trajectory fingerprint-visible:
+		// one line per epoch (entry aging drift, published safe point,
+		// campaigns run) plus the final drift. Single-epoch runs emit
+		// nothing here, so their fingerprints match pre-lifetime goldens.
+		for _, ep := range n.Epochs {
+			fmt.Fprintf(&b, "%s epoch=%d gap=%dd win=%d age=%s safe=%d rechar=%d\n",
+				n.Name, ep.Epoch, ep.GapDays, ep.Windows, exactFloat(ep.AgeShiftMV),
+				ep.SafeVoltageMV, ep.Recharacterized)
+		}
+		if len(n.Epochs) > 0 {
+			fmt.Fprintf(&b, "%s lifetime finalAge=%s\n", n.Name, exactFloat(n.FinalAgeShiftMV))
+		}
 	}
 	return b.String()
 }
@@ -444,6 +471,14 @@ func Run(cfg Config) (Summary, error) {
 	if cfg.Windows < 0 {
 		return Summary{}, errors.New("fleet: negative window count")
 	}
+	if cfg.Lifetime != nil {
+		if err := cfg.Lifetime.Validate(); err != nil {
+			return Summary{}, fmt.Errorf("fleet: lifetime plan: %w", err)
+		}
+		// The plan owns the window axis: the cloud layer replays the
+		// concatenated epoch windows.
+		cfg.Windows = cfg.Lifetime.TotalWindows()
+	}
 	workers := EffectiveWorkers(cfg.Workers, cfg.Nodes)
 	if cfg.Repair <= 0 {
 		cfg.Repair = 15 * time.Minute
@@ -487,6 +522,9 @@ func Run(cfg Config) (Summary, error) {
 		if err != nil {
 			s.err = fmt.Errorf("fleet: node %d mode entry: %w", i, err)
 			return
+		}
+		if cfg.Lifetime != nil {
+			dep.SetCadence(cfg.Lifetime.RecharactEvery)
 		}
 		n, err := eco.Node(s.name, spec.MemBytes)
 		if err != nil {
@@ -578,9 +616,12 @@ func Run(cfg Config) (Summary, error) {
 	}
 	forEachNode(workers, len(states), func(i int) {
 		s := states[i]
-		for w := 0; w < cfg.Windows; w++ {
+		// stepWindow advances one runtime window at global index w,
+		// returning false when the node failed (or the run is doomed
+		// and this node may stop early).
+		stepWindow := func(w int) bool {
 			if earlyExit && int64(w) >= failFloor.Load() {
-				return
+				return false
 			}
 			if cfg.Perturb != nil {
 				p := cfg.Perturb(i, w)
@@ -595,7 +636,7 @@ func Run(cfg Config) (Summary, error) {
 						s.err = fmt.Errorf("fleet: node %d window %d mode switch: %w", i, w, err)
 						s.errWindow = w
 						reportFail(w)
-						return
+						return false
 					}
 				}
 			}
@@ -604,14 +645,14 @@ func Run(cfg Config) (Summary, error) {
 				s.err = fmt.Errorf("fleet: node %d window %d: %w", i, w, err)
 				s.errWindow = w
 				reportFail(w)
-				return
+				return false
 			}
 			fp, err := s.eco.PredictedFailProb()
 			if err != nil {
 				s.err = fmt.Errorf("fleet: node %d window %d: %w", i, w, err)
 				s.errWindow = w
 				reportFail(w)
-				return
+				return false
 			}
 			s.health = append(s.health, epochHealth{
 				failProb:     fp,
@@ -619,6 +660,46 @@ func Run(cfg Config) (Summary, error) {
 				thermalAlarm: rep.ThermalAlarm,
 				crashed:      rep.Crashed,
 			})
+			return true
+		}
+		// The lifetime axis: each epoch batches its windows exactly as
+		// the single-epoch engine did; between epochs the node
+		// fast-forwards the gap and honours the re-characterization
+		// cadence. Gap failures are charged to the first window of the
+		// entered epoch — the earliest window the failure can shadow.
+		w := 0
+		epochs := 1
+		if cfg.Lifetime != nil {
+			epochs = cfg.Lifetime.Epochs()
+		}
+		for ei := 0; ei < epochs; ei++ {
+			if ei > 0 {
+				if earlyExit && int64(w) >= failFloor.Load() {
+					return
+				}
+				if err := s.dep.FastForward(cfg.Lifetime.Gaps[ei-1]); err != nil {
+					s.err = fmt.Errorf("fleet: node %d epoch %d gap: %w", i, ei, err)
+					s.errWindow = w
+					reportFail(w)
+					return
+				}
+				if _, err := s.dep.MaybeRecharacterize(); err != nil {
+					s.err = fmt.Errorf("fleet: node %d epoch %d entry campaign: %w", i, ei, err)
+					s.errWindow = w
+					reportFail(w)
+					return
+				}
+			}
+			epochWindows := cfg.Windows
+			if cfg.Lifetime != nil {
+				epochWindows = cfg.Lifetime.EpochWindows[ei]
+			}
+			for k := 0; k < epochWindows; k++ {
+				if !stepWindow(w) {
+					return
+				}
+				w++
+			}
 		}
 	})
 	// A node failure aborts the run at its window, exactly as the
@@ -680,7 +761,7 @@ func Run(cfg Config) (Summary, error) {
 		sum.CorrectableMasked += d.CorrectableMasked
 		sum.DRAMCorrected += d.DRAMCorrected
 		sum.EnergySavedWh += d.EnergySavedWh
-		sum.PerNode = append(sum.PerNode, NodeSummary{
+		ns := NodeSummary{
 			Name:               s.name,
 			Model:              s.model,
 			Seed:               s.seed,
@@ -693,7 +774,12 @@ func Run(cfg Config) (Summary, error) {
 			MeanCPUTempC:       d.MeanCPUTempC,
 			EnergySavedWh:      d.EnergySavedWh,
 			FinalSafeVoltageMV: d.FinalSafeVoltageMV,
-		})
+			Epochs:             d.Epochs,
+		}
+		if len(d.Epochs) > 0 {
+			ns.FinalAgeShiftMV = d.FinalAgeShiftMV
+		}
+		sum.PerNode = append(sum.PerNode, ns)
 	}
 	if len(sum.PerNode) > 0 {
 		for _, n := range sum.PerNode {

@@ -142,6 +142,34 @@ func (om *ObjectMap) Clone() *ObjectMap {
 	return out
 }
 
+// Profiles returns the category profiles in category order — the
+// persistence surface ObjectMapFromState reassembles an inventory
+// from.
+func (om *ObjectMap) Profiles() []CategoryProfile {
+	out := make([]CategoryProfile, 0, len(om.profiles))
+	for _, c := range Categories() {
+		if p, ok := om.profiles[c]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ObjectMapFromState reassembles an inventory from serialized parts:
+// the fabricated objects (with their empirically learned Crucial and
+// Protected labels) and the category profiles. Unlike NewObjectMap it
+// fabricates nothing — the object population is taken verbatim.
+func ObjectMapFromState(objects []Object, profiles []CategoryProfile) *ObjectMap {
+	om := &ObjectMap{
+		Objects:  append([]Object(nil), objects...),
+		profiles: make(map[Category]CategoryProfile, len(profiles)),
+	}
+	for _, p := range profiles {
+		om.profiles[p.Category] = p
+	}
+	return om
+}
+
 // Profile returns the category profile.
 func (om *ObjectMap) Profile(c Category) (CategoryProfile, error) {
 	p, ok := om.profiles[c]

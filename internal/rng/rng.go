@@ -265,3 +265,14 @@ func (s *Source) Choice(weights []float64) int {
 	}
 	return len(weights) - 1
 }
+
+// State returns the generator's internal state word — the persistence
+// hook snapshot serialization uses. A Source restored with FromState
+// continues the exact stream of its origin.
+func (s *Source) State() uint64 { return s.state }
+
+// FromState reconstructs a Source at the given state word, resuming
+// the stream exactly where State captured it.
+func FromState(state uint64) *Source {
+	return &Source{state: state}
+}

@@ -42,6 +42,11 @@ type ScenarioReport struct {
 	EnergySavedWh    float64 `json:"energy_saved_wh"`
 	EOPFraction      float64 `json:"eop_fraction"`
 	MeanCPUTempC     float64 `json:"mean_cpu_temp_c"`
+	// MeanFinalAgeShiftMV is the fleet-mean accumulated aging drift at
+	// end of life — the margin-trajectory headline lifetime scenarios
+	// exist to surface (zero for single-epoch scenarios, whose runs
+	// are too short for visible drift).
+	MeanFinalAgeShiftMV float64 `json:"mean_final_age_shift_mv,omitempty"`
 
 	// Totals across successful seeds.
 	Crashes              int `json:"crashes"`
@@ -50,6 +55,9 @@ type ScenarioReport struct {
 	UserFacingViolations int `json:"user_facing_violations"`
 	Scheduled            int `json:"scheduled"`
 	Rejected             int `json:"rejected"`
+	// Recharacterized totals the StressLog campaigns run mid-life —
+	// scheduled (cadence), threshold- and crash-triggered alike.
+	Recharacterized int `json:"recharacterized"`
 
 	FingerprintSHA256 string `json:"fingerprint_sha256"`
 }
@@ -74,8 +82,15 @@ type Report struct {
 	// characterization snapshot cache's traffic: misses are full
 	// characterizations run, hits are nodes served by restoring a
 	// snapshot. Both are zero when the cache is disabled.
+	// CharactDiskHits counts first consumers served from the attached
+	// spill directory (Campaign.CharactDir) instead of characterizing.
+	// CharactDiskErr carries the first best-effort spill failure, if
+	// any: results are unaffected, but the directory did not
+	// accumulate and the next run will re-characterize.
 	CharactCacheHits   uint64 `json:"charact_cache_hits"`
 	CharactCacheMisses uint64 `json:"charact_cache_misses"`
+	CharactDiskHits    uint64 `json:"charact_disk_hits,omitempty"`
+	CharactDiskErr     string `json:"charact_disk_err,omitempty"`
 }
 
 // WriteJSON renders the report, indented, to w.
@@ -146,6 +161,12 @@ type Campaign struct {
 	// (pinned by the preset golden tests). Disable only to measure the
 	// uncached cost or to bisect a suspected restore divergence.
 	DisableCharactShare bool
+	// CharactDir, when set (and sharing is on), spills characterized
+	// snapshots to this versioned directory and serves later processes
+	// from it — CLI reruns and CI legs share characterizations across
+	// processes, byte-identically. Attaching refuses a directory
+	// stamped by a different snapshot-format version.
+	CharactDir string
 }
 
 // EffectiveParallel resolves the concurrent-cell count RunCampaign
@@ -217,6 +238,11 @@ func RunCampaign(c Campaign) (Report, error) {
 	var cache *fleet.CharactCache
 	if !c.DisableCharactShare {
 		cache = fleet.NewCharactCache()
+		if c.CharactDir != "" {
+			if err := cache.AttachDir(c.CharactDir); err != nil {
+				return Report{}, err
+			}
+		}
 	}
 
 	// Fan out: workers pull grid cells off a shared atomic cursor the
@@ -253,6 +279,10 @@ func RunCampaign(c Campaign) (Report, error) {
 	if cache != nil {
 		st := cache.Stats()
 		rep.CharactCacheHits, rep.CharactCacheMisses = st.Hits, st.Misses
+		rep.CharactDiskHits = st.DiskHits
+		if err := cache.DiskErr(); err != nil {
+			rep.CharactDiskErr = err.Error()
+		}
 	}
 	var firstErr error
 	allFPs := ""
@@ -284,6 +314,14 @@ func RunCampaign(c Campaign) (Report, error) {
 			sr.UserFacingViolations += sum.UserFacingViolations
 			sr.Scheduled += sum.Scheduled
 			sr.Rejected += sum.Rejected
+			sr.Recharacterized += sum.Recharacterized
+			if len(sum.PerNode) > 0 {
+				nodeAge := 0.0
+				for _, n := range sum.PerNode {
+					nodeAge += n.FinalAgeShiftMV
+				}
+				sr.MeanFinalAgeShiftMV += nodeAge / float64(len(sum.PerNode))
+			}
 		}
 		if ok := sr.Runs - sr.Failed; ok > 0 {
 			sr.MeanAvailability /= float64(ok)
@@ -291,6 +329,7 @@ func RunCampaign(c Campaign) (Report, error) {
 			sr.EnergySavedWh /= float64(ok)
 			sr.EOPFraction /= float64(ok)
 			sr.MeanCPUTempC /= float64(ok)
+			sr.MeanFinalAgeShiftMV /= float64(ok)
 		}
 		sr.FingerprintSHA256 = sha256Hex(rowFPs)
 		allFPs += rowFPs

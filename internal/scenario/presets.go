@@ -99,6 +99,61 @@ func DroopAttack() Scenario {
 	return s
 }
 
+// AgingYear models the paper's lifetime story end to end: four
+// windowed epochs spanning the seasons of a year, separated by
+// 91-day fast-forward gaps that age the silicon and churn the DRAM
+// telegraph noise, with a 90-day re-characterization cadence — so
+// every epoch opens with a scheduled StressLog campaign publishing
+// the drifted margins (Section 3.D: "periodically over the machine's
+// lifetime (e.g. every 2-3 months) to track aging").
+func AgingYear() Scenario {
+	s := Baseline()
+	s.Name = "aging-year"
+	s.Description = "a year of lifetime: 4 seasonal epochs, 91-day gaps, 90-day re-characterization cadence"
+	s.Windows = 60
+	s.Lifetime = LifetimeModel{
+		Epochs:             4,
+		GapDays:            91,
+		GapDuty:            0.6,
+		RecharactEveryDays: 90,
+		// Winter deployment, then spring, a hot summer machine room,
+		// and autumn.
+		SeasonCPUC:  []float64{24, 29, 38, 30},
+		SeasonDIMMC: []float64{30, 35, 44, 36},
+	}
+	return s
+}
+
+// recharactCadence builds one leg of the cadence-comparison family:
+// identical seven-epoch lifetimes (30-day gaps, ~6 months of aging)
+// that differ only in the scheduled re-characterization cadence, so a
+// campaign over the three legs isolates the cadence's effect on
+// margin staleness, crashes and offline time.
+func recharactCadence(name string, days int, human string) Scenario {
+	s := Baseline()
+	s.Name = name
+	s.Description = fmt.Sprintf("re-characterization cadence study: 7 epochs, 30-day gaps, campaigns every %s", human)
+	s.Nodes = 6
+	s.Windows = 40
+	s.Lifetime = LifetimeModel{
+		Epochs:             7,
+		GapDays:            30,
+		GapDuty:            0.7,
+		RecharactEveryDays: days,
+	}
+	return s
+}
+
+// RecharactCadences returns the 1/3/6-month cadence-comparison legs;
+// run them in one campaign grid to compare schedules.
+func RecharactCadences() []Scenario {
+	return []Scenario{
+		recharactCadence("recharact-1mo", 30, "month"),
+		recharactCadence("recharact-3mo", 90, "3 months"),
+		recharactCadence("recharact-6mo", 180, "6 months"),
+	}
+}
+
 // Presets returns the bundled scenario catalogue, sorted by name.
 func Presets() []Scenario {
 	out := []Scenario{
@@ -108,7 +163,9 @@ func Presets() []Scenario {
 		ThermalSummer(),
 		ModeChurn(),
 		DroopAttack(),
+		AgingYear(),
 	}
+	out = append(out, RecharactCadences()...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

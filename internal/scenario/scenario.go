@@ -20,6 +20,7 @@ import (
 	"math"
 	"time"
 
+	"uniserver/internal/core"
 	"uniserver/internal/cpu"
 	"uniserver/internal/fleet"
 	"uniserver/internal/rng"
@@ -36,7 +37,9 @@ type Scenario struct {
 	Description string
 
 	// Nodes, Windows and VMs size the experiment. VMs <= 0 means the
-	// fleet default (3 per node).
+	// fleet default (3 per node). When Lifetime is enabled, Windows is
+	// the per-epoch window count; the run simulates
+	// Windows × Lifetime.Epochs windows in total.
 	Nodes   int
 	Windows int
 	VMs     int
@@ -64,6 +67,49 @@ type Scenario struct {
 	// Attacks are droop-virus injections: a malicious guest profile
 	// replaces the node's workload for a span of windows.
 	Attacks []Attack
+
+	// Lifetime stretches the scenario across aging epochs separated by
+	// fast-forward gaps, with a scheduled re-characterization cadence.
+	// The zero value is a plain single-epoch run.
+	Lifetime LifetimeModel
+}
+
+// LifetimeModel is the scenario-level declaration of the lifetime
+// engine: how many windowed epochs, how long the unsimulated gaps
+// between them are, how hard the machine works across them, how often
+// the StressLog re-characterizes, and which season each epoch lands
+// in.
+type LifetimeModel struct {
+	// Epochs is the number of windowed epochs; <= 1 disables the
+	// lifetime axis.
+	Epochs int
+	// GapDays is the fast-forward span between consecutive epochs, in
+	// whole days.
+	GapDays int
+	// GapDuty is the mean silicon stress across gaps, in [0,1].
+	GapDuty float64
+	// RecharactEveryDays, when positive, retargets the StressLog's
+	// periodic cadence and re-characterizes at every epoch entry where
+	// it has elapsed. Zero keeps the core default (~2.5 months).
+	RecharactEveryDays int
+	// SeasonCPUC / SeasonDIMMC, when non-empty, retarget the ambient
+	// temperatures per epoch: epoch e lands at Season*[e % len]. The
+	// two slices must have equal length, and a lifetime season
+	// trajectory excludes a dynamic AmbientModel (one ambient driver
+	// at a time).
+	SeasonCPUC  []float64
+	SeasonDIMMC []float64
+}
+
+// enabled reports whether the scenario is multi-epoch.
+func (l LifetimeModel) enabled() bool { return l.Epochs > 1 }
+
+// seasonAt returns the season value for epoch e, 0 when unset.
+func seasonAt(seasons []float64, e int) float64 {
+	if len(seasons) == 0 {
+		return 0
+	}
+	return seasons[e%len(seasons)]
 }
 
 // AmbientModel is a pure function of the window index: a seasonal
@@ -178,6 +224,16 @@ func partByName(name string) (cpu.PartSpec, error) {
 	return cpu.PartSpec{}, fmt.Errorf("scenario: unknown silicon bin %q (known: %v)", name, PartNames())
 }
 
+// totalWindows is the full simulated window axis: per-epoch windows
+// times epochs. Scheduled features (mode switches, attacks, ambient
+// phases, bursts) index this axis.
+func (s Scenario) totalWindows() int {
+	if s.Lifetime.enabled() {
+		return s.Windows * s.Lifetime.Epochs
+	}
+	return s.Windows
+}
+
 // Validate reports declaration errors.
 func (s Scenario) Validate() error {
 	if s.Name == "" {
@@ -215,9 +271,36 @@ func (s Scenario) Validate() error {
 	if s.Arrival.BurstFactor != 0 && s.Arrival.BurstWindows <= 0 {
 		return fmt.Errorf("scenario %s: arrival burst needs a positive BurstWindows", s.Name)
 	}
+	// Lifetime declarations: reject both dead knobs (lifetime fields
+	// without epochs would silently measure nothing) and conflicting
+	// ambient drivers.
+	l := s.Lifetime
+	if !l.enabled() {
+		if l.GapDays != 0 || l.GapDuty != 0 || l.RecharactEveryDays != 0 ||
+			len(l.SeasonCPUC) > 0 || len(l.SeasonDIMMC) > 0 {
+			return fmt.Errorf("scenario %s: lifetime fields set without Epochs > 1", s.Name)
+		}
+	} else {
+		if l.GapDays <= 0 {
+			return fmt.Errorf("scenario %s: lifetime needs positive GapDays", s.Name)
+		}
+		if l.GapDuty < 0 || l.GapDuty > 1 {
+			return fmt.Errorf("scenario %s: lifetime gap duty %g outside [0,1]", s.Name, l.GapDuty)
+		}
+		if l.RecharactEveryDays < 0 {
+			return fmt.Errorf("scenario %s: negative re-characterization cadence", s.Name)
+		}
+		if len(l.SeasonCPUC) != len(l.SeasonDIMMC) {
+			return fmt.Errorf("scenario %s: SeasonCPUC and SeasonDIMMC lengths differ (%d vs %d)",
+				s.Name, len(l.SeasonCPUC), len(l.SeasonDIMMC))
+		}
+		if len(l.SeasonCPUC) > 0 && !s.Ambient.static() {
+			return fmt.Errorf("scenario %s: lifetime seasons and a dynamic ambient model both set; pick one ambient driver", s.Name)
+		}
+	}
 	for _, sw := range s.ModeSwitches {
-		if sw.Window < 0 || sw.Window >= s.Windows {
-			return fmt.Errorf("scenario %s: mode switch window %d outside [0,%d)", s.Name, sw.Window, s.Windows)
+		if sw.Window < 0 || sw.Window >= s.totalWindows() {
+			return fmt.Errorf("scenario %s: mode switch window %d outside [0,%d)", s.Name, sw.Window, s.totalWindows())
 		}
 		if sw.Node < -1 || sw.Node >= s.Nodes {
 			return fmt.Errorf("scenario %s: mode switch node %d outside [-1,%d)", s.Name, sw.Node, s.Nodes)
@@ -230,8 +313,8 @@ func (s Scenario) Validate() error {
 		if at.Node < 0 || at.Node >= s.Nodes {
 			return fmt.Errorf("scenario %s: attack node %d outside [0,%d)", s.Name, at.Node, s.Nodes)
 		}
-		if at.Window < 0 || at.Window >= s.Windows {
-			return fmt.Errorf("scenario %s: attack window %d outside [0,%d)", s.Name, at.Window, s.Windows)
+		if at.Window < 0 || at.Window >= s.totalWindows() {
+			return fmt.Errorf("scenario %s: attack window %d outside [0,%d)", s.Name, at.Window, s.totalWindows())
 		}
 		if at.Windows <= 0 {
 			return fmt.Errorf("scenario %s: attack duration must be positive", s.Name)
@@ -253,21 +336,29 @@ func (s Scenario) Scale(nodes, windows int) Scenario {
 	if windows <= 0 {
 		windows = s.Windows
 	}
+	// Window-indexed features live on the total axis (all epochs
+	// concatenated, totalWindows), so both the ratio and the clamp
+	// bound must use totals — per-epoch Windows would fold a
+	// later-epoch feature into epoch 0 on lifetime scenarios.
+	oldTotal := s.totalWindows()
+	scaled := s
+	scaled.Windows = windows
+	newTotal := scaled.totalWindows()
 	remapW := func(w int) int {
-		if s.Windows == 0 {
+		if oldTotal == 0 {
 			return 0
 		}
-		nw := w * windows / s.Windows
-		if nw >= windows {
-			nw = windows - 1
+		nw := w * newTotal / oldTotal
+		if nw >= newTotal {
+			nw = newTotal - 1
 		}
 		return nw
 	}
 	remapSpan := func(n int) int {
-		if s.Windows == 0 {
+		if oldTotal == 0 {
 			return 0
 		}
-		nn := n * windows / s.Windows
+		nn := n * newTotal / oldTotal
 		if n > 0 && nn < 1 {
 			nn = 1
 		}
@@ -324,6 +415,24 @@ func (s Scenario) FleetConfig(seed uint64) (fleet.Config, error) {
 	cfg.Mode = s.Mode
 	cfg.RiskTarget = s.RiskTarget
 
+	// Lifetime axis: compile the model into a core plan — uniform
+	// epochs of s.Windows windows, gaps with per-epoch season ambient
+	// retargets, and the re-characterization cadence. The cloud layer
+	// spans the concatenated epoch windows.
+	if s.Lifetime.enabled() {
+		l := s.Lifetime
+		plan := core.UniformPlan(l.Epochs, s.Windows, l.GapDays, l.GapDuty)
+		plan.RecharactEvery = time.Duration(l.RecharactEveryDays) * 24 * time.Hour
+		for i := range plan.Gaps {
+			// Gaps[i] precedes epoch i+1: the gap carries the node into
+			// that epoch's season.
+			plan.Gaps[i].AmbientCPUC = seasonAt(l.SeasonCPUC, i+1)
+			plan.Gaps[i].AmbientDIMMC = seasonAt(l.SeasonDIMMC, i+1)
+		}
+		cfg.Lifetime = &plan
+		cfg.Windows = plan.TotalWindows()
+	}
+
 	// Per-node specs: silicon bins round-robin, window-0 ambient.
 	bins := make([]cpu.PartSpec, len(s.Bins))
 	for i, b := range s.Bins {
@@ -335,6 +444,16 @@ func (s Scenario) FleetConfig(seed uint64) (fleet.Config, error) {
 	}
 	base := cfg.BaseSpec()
 	amb0CPU, amb0DIMM := s.Ambient.At(0)
+	if s.Lifetime.enabled() {
+		// Epoch 0 lands in season 0 (when declared): the initial spec
+		// carries it, later epochs enter theirs through the gaps.
+		if c := seasonAt(s.Lifetime.SeasonCPUC, 0); c != 0 {
+			amb0CPU = c
+		}
+		if d := seasonAt(s.Lifetime.SeasonDIMMC, 0); d != 0 {
+			amb0DIMM = d
+		}
+	}
 	cfg.Node = func(i int) fleet.NodeSpec {
 		spec := base
 		if len(bins) > 0 {
@@ -377,7 +496,7 @@ func (s Scenario) FleetConfig(seed uint64) (fleet.Config, error) {
 		p := pert[pertKey{at.Node, at.Window}]
 		p.Workload = &virus
 		pert[pertKey{at.Node, at.Window}] = p
-		if end := at.Window + at.Windows; end < s.Windows {
+		if end := at.Window + at.Windows; end < s.totalWindows() {
 			wl := base.Workload
 			p := pert[pertKey{at.Node, end}]
 			p.Workload = &wl
@@ -385,11 +504,14 @@ func (s Scenario) FleetConfig(seed uint64) (fleet.Config, error) {
 		}
 	}
 
-	// Ambient trajectory, precomputed per window when dynamic.
+	// Ambient trajectory, precomputed per window when dynamic. The
+	// window axis spans all epochs (the validator rejects dynamic
+	// ambients combined with lifetime seasons, so the two drivers
+	// never fight).
 	var ambient []fleet.Ambient
 	if !s.Ambient.static() {
-		ambient = make([]fleet.Ambient, s.Windows)
-		for w := 0; w < s.Windows; w++ {
+		ambient = make([]fleet.Ambient, s.totalWindows())
+		for w := 0; w < s.totalWindows(); w++ {
 			c, d := s.Ambient.At(w)
 			ambient[w] = fleet.Ambient{CPUC: c, DIMMC: d}
 		}

@@ -41,6 +41,13 @@ var goldenPresetSHA = map[string]string{
 	"hetero-bins":    "4636fc697de91580d275444f261540ab97331b9933b1201d6ec87b0c9eaf75aa",
 	"mode-churn":     "be4df7810c70386a0008ffe05b2b66e54108516e8cda99db45f3f9e406c19b5d",
 	"thermal-summer": "d2a94571c36750bf5a04310a60f82701e879818106b7f5a82bb52af587d8d29b",
+	// Lifetime presets, recorded when the lifetime engine landed (the
+	// six SHAs above were untouched by it — single-epoch fingerprints
+	// carry no trajectory lines).
+	"aging-year":    "7792eeb370756ceac92984599a08f4cceb0e944accd73aa8bc7a15d3f0217c41",
+	"recharact-1mo": "ea97ed824196703113fcfa387e648416c106c9e062acbdb00d56afc15762955a",
+	"recharact-3mo": "2a7b737e80d6ea8d3eb225289d5b813e7ecf6b27b9b89ad303db31308f428c5c",
+	"recharact-6mo": "ba7a6bbb807c510bf137d46be93eafaeda2e3c9793ba158b9fb486510a95ac59",
 }
 
 // TestPresetDeterminismAcrossWorkerCounts is the scenario layer's
@@ -338,5 +345,119 @@ func TestReportJSONRoundTrips(t *testing.T) {
 	}
 	if back.FingerprintSHA256 != rep.FingerprintSHA256 {
 		t.Fatal("campaign fingerprint changed across the round trip")
+	}
+}
+
+// TestLifetimeScenarioObservable is the acceptance pin for the
+// lifetime axis: an aging-year campaign must show nonzero scheduled
+// re-characterizations and a monotone margin-drift trajectory in its
+// Report, and the cadence family must order as scheduled (a monthly
+// cadence re-characterizes more often than a half-yearly one).
+func TestLifetimeScenarioObservable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	grid := Campaign{
+		Scenarios: []Scenario{AgingYear().Scale(2, 6)},
+		Seeds:     []uint64{4},
+	}
+	grid.Scenarios = append(grid.Scenarios, RecharactCadences()...)
+	for i := 1; i < len(grid.Scenarios); i++ {
+		grid.Scenarios[i] = grid.Scenarios[i].Scale(2, 6)
+	}
+	rep, err := RunCampaign(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ScenarioReport{}
+	for _, sr := range rep.Scenarios {
+		byName[sr.Scenario] = sr
+	}
+	aging := byName["aging-year"]
+	if aging.Recharacterized == 0 {
+		t.Fatal("aging-year report shows zero re-characterizations")
+	}
+	if aging.MeanFinalAgeShiftMV <= 0 {
+		t.Fatal("aging-year report shows no aging drift")
+	}
+	// Per-node margin trajectories: one row per epoch, monotone drift.
+	for _, res := range rep.Results {
+		if res.Scenario != "aging-year" {
+			continue
+		}
+		for _, n := range res.Summary.PerNode {
+			if len(n.Epochs) != 4 {
+				t.Fatalf("aging-year node %s has %d trajectory rows, want 4", n.Name, len(n.Epochs))
+			}
+			for i := 1; i < len(n.Epochs); i++ {
+				if n.Epochs[i].AgeShiftMV < n.Epochs[i-1].AgeShiftMV {
+					t.Fatalf("aging-year node %s drift not monotone at epoch %d", n.Name, i)
+				}
+			}
+		}
+	}
+	if r1, r6 := byName["recharact-1mo"].Recharacterized, byName["recharact-6mo"].Recharacterized; r1 <= r6 {
+		t.Fatalf("monthly cadence ran %d campaigns, half-yearly %d; cadence has no effect", r1, r6)
+	}
+}
+
+// TestCampaignCharactDirSharesAcrossInstances covers the CLI/CI
+// cross-process path at the campaign level: a second campaign with a
+// fresh cache but the same spill directory must reuse every
+// characterization from disk and reproduce the grid byte for byte.
+func TestCampaignCharactDirSharesAcrossInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	grid := Campaign{
+		Scenarios:  []Scenario{Baseline().Scale(2, 6), ThermalSummer().Scale(2, 6)},
+		Seeds:      []uint64{3},
+		CharactDir: t.TempDir(),
+	}
+	cold, err := RunCampaign(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunCampaign(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FingerprintSHA256 != warm.FingerprintSHA256 {
+		t.Fatalf("disk-shared campaign diverged: %s vs %s", cold.FingerprintSHA256, warm.FingerprintSHA256)
+	}
+	if cold.CharactCacheMisses == 0 || cold.CharactDiskHits != 0 {
+		t.Fatalf("cold campaign stats unexpected: %d misses, %d disk hits", cold.CharactCacheMisses, cold.CharactDiskHits)
+	}
+	if warm.CharactDiskHits == 0 || warm.CharactCacheMisses != 0 {
+		t.Fatalf("warm campaign did not share across instances: %d misses, %d disk hits",
+			warm.CharactCacheMisses, warm.CharactDiskHits)
+	}
+}
+
+// TestScaleRemapsOnTotalWindowAxis: window-indexed features of a
+// lifetime scenario live on the concatenated (total) window axis, and
+// Scale must remap them against it — not against the per-epoch
+// Windows, which would fold later-epoch features into epoch 0.
+func TestScaleRemapsOnTotalWindowAxis(t *testing.T) {
+	s := Baseline()
+	s.Windows = 60
+	s.Lifetime = LifetimeModel{Epochs: 4, GapDays: 30, GapDuty: 0.5}
+	// A switch in epoch 2 (total axis: windows 120..179).
+	s.ModeSwitches = []ModeSwitch{{Window: 150, Node: -1, Mode: s.Mode, RiskTarget: 0.01}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Same-size rescale is the identity.
+	if got := s.Scale(s.Nodes, 60).ModeSwitches[0].Window; got != 150 {
+		t.Fatalf("identity rescale moved the switch to window %d", got)
+	}
+	// Halving per-epoch windows halves the total axis: 150 -> 75,
+	// still in epoch 2 of the scaled scenario (60..89).
+	half := s.Scale(s.Nodes, 30)
+	if got := half.ModeSwitches[0].Window; got != 75 {
+		t.Fatalf("halved rescale moved the switch to window %d, want 75", got)
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,65 @@
+package stresslog
+
+import (
+	"time"
+
+	"uniserver/internal/cpu"
+	"uniserver/internal/dram"
+	"uniserver/internal/healthlog"
+	"uniserver/internal/power"
+	"uniserver/internal/stress"
+	"uniserver/internal/telemetry"
+)
+
+// DaemonState is the daemon's serializable state: the periodic
+// schedule position, queued on-demand triggers, the published-margin
+// history, and the evolved-virus archive. The wired machine, memory
+// system and HealthLog are identities, not state — the restorer
+// passes its own reconstructed instances, exactly as Clone does.
+type DaemonState struct {
+	Period  time.Duration
+	LastRun time.Time
+	Pending []healthlog.TriggerReason
+	History []MarginVector
+	Archive []stress.ArchiveEntry
+}
+
+// ExportState captures the daemon's state for serialization. The
+// margin vectors' EOP tables serialize through vfr's versioned
+// format (see vfr.EOPTable.GobEncode).
+func (d *Daemon) ExportState() DaemonState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DaemonState{
+		Period:  d.period,
+		LastRun: d.lastRun,
+		Pending: append([]healthlog.TriggerReason(nil), d.pending...),
+		Archive: d.archive.Entries(),
+	}
+	st.History = make([]MarginVector, len(d.history))
+	for i, vec := range d.history {
+		if vec.Table != nil {
+			vec.Table = vec.Table.Clone()
+		}
+		st.History[i] = vec
+	}
+	return st
+}
+
+// NewFromState reassembles a daemon from ExportState's capture,
+// rewired to the given clock, machine under test, memory system and
+// HealthLog. The caller re-hooks the trigger handler into its
+// HealthLog, as New's wiring in core does.
+func NewFromState(st DaemonState, clock *telemetry.Clock, m *cpu.Machine, mem *dram.MemorySystem,
+	health *healthlog.Daemon, refresh power.DRAMRefreshModel) (*Daemon, error) {
+	d := New(clock, m, mem, health, refresh, st.Period)
+	d.lastRun = st.LastRun
+	d.pending = append([]healthlog.TriggerReason(nil), st.Pending...)
+	d.history = append([]MarginVector(nil), st.History...)
+	for _, e := range st.Archive {
+		if err := d.archive.Put(e); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

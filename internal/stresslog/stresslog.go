@@ -219,6 +219,33 @@ func (d *Daemon) DuePeriodic() bool {
 	return d.clock.Now().Sub(d.lastRun) >= d.period
 }
 
+// Period returns the current periodic re-characterization interval.
+func (d *Daemon) Period() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.period
+}
+
+// SetPeriod retargets the periodic re-characterization cadence — the
+// paper's "every 2-3 months" dial, which lifetime scenarios sweep to
+// compare 1/3/6-month schedules. Non-positive values are ignored.
+func (d *Daemon) SetPeriod(p time.Duration) {
+	if p <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.period = p
+}
+
+// LastRun returns when the last campaign published its margin vector
+// (the zero time before any campaign has run).
+func (d *Daemon) LastRun() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastRun
+}
+
 // RunCampaign takes the machine offline, executes the stress suite on
 // every core, sweeps the DRAM refresh grid, publishes the resulting
 // margin vector, and brings the machine back online.

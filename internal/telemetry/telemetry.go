@@ -53,6 +53,35 @@ func (c *Clock) Advance(d time.Duration) time.Time {
 	return c.now
 }
 
+// WindowQuantum is the fine observation-window granularity of the
+// runtime loop: one simulated minute. Fast-forward gaps are coarse
+// jumps measured in multiples of it.
+const WindowQuantum = time.Minute
+
+// AdvanceCoarse is the fast-forward primitive for lifetime gaps: it
+// jumps the clock across an unsimulated span (days to months) in one
+// call. Unlike Advance — whose panic-on-negative contract silently
+// accepts zero — AdvanceCoarse validates and returns errors: the jump
+// must be a positive whole number of observation windows, and the
+// clock must sit on a window boundary (fast-forwarding mid-window
+// would tear the window the fine loop is in the middle of).
+func (c *Clock) AdvanceCoarse(d time.Duration) (time.Time, error) {
+	if d <= 0 {
+		return time.Time{}, fmt.Errorf("telemetry: AdvanceCoarse needs a positive duration, got %v", d)
+	}
+	if d%WindowQuantum != 0 {
+		return time.Time{}, fmt.Errorf("telemetry: AdvanceCoarse duration %v is not a whole number of %v windows", d, WindowQuantum)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.now.Truncate(WindowQuantum).Equal(c.now) {
+		return time.Time{}, fmt.Errorf("telemetry: refusing mid-window fast-forward at %v (not on a %v boundary)",
+			c.now.Format(time.RFC3339Nano), WindowQuantum)
+	}
+	c.now = c.now.Add(d)
+	return c.now, nil
+}
+
 // SensorKind identifies a hardware sensor class.
 type SensorKind int
 

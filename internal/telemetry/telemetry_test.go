@@ -150,3 +150,40 @@ func TestUnmarshalLineError(t *testing.T) {
 		t.Fatal("bad line should error")
 	}
 }
+
+// TestAdvanceCoarseValidates pins the fast-forward primitive's
+// contract: unlike Advance (panic on negative, silent on zero),
+// AdvanceCoarse rejects non-positive jumps, fractional-window jumps,
+// and any jump attempted while the clock sits mid-window.
+func TestAdvanceCoarseValidates(t *testing.T) {
+	origin := time.Date(2017, 2, 1, 0, 0, 0, 0, time.UTC)
+	c := NewClock(origin)
+	if _, err := c.AdvanceCoarse(-time.Hour); err == nil {
+		t.Fatal("negative coarse advance accepted")
+	}
+	if _, err := c.AdvanceCoarse(0); err == nil {
+		t.Fatal("zero coarse advance accepted")
+	}
+	if _, err := c.AdvanceCoarse(90 * time.Second); err == nil {
+		t.Fatal("fractional-window coarse advance accepted")
+	}
+	got, err := c.AdvanceCoarse(48 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := origin.Add(48 * time.Hour); !got.Equal(want) {
+		t.Fatalf("coarse advance landed at %v, want %v", got, want)
+	}
+
+	// Mid-window: a fine advance that leaves the clock off the window
+	// boundary makes every subsequent fast-forward illegal until the
+	// window completes.
+	c.Advance(30 * time.Second)
+	if _, err := c.AdvanceCoarse(24 * time.Hour); err == nil {
+		t.Fatal("mid-window fast-forward accepted")
+	}
+	c.Advance(30 * time.Second) // back on the boundary
+	if _, err := c.AdvanceCoarse(24 * time.Hour); err != nil {
+		t.Fatalf("boundary fast-forward rejected: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package vfr
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -89,4 +90,27 @@ func Load(r io.Reader) (*EOPTable, error) {
 		})
 	}
 	return t, nil
+}
+
+// GobEncode implements gob.GobEncoder via the versioned Save format,
+// so structs embedding *EOPTable (margin-vector histories, snapshot
+// state) serialize through encoding/gob without exposing the table's
+// internals. The format carries only integers, strings and durations,
+// so the round trip is exact.
+func (t *EOPTable) GobEncode() ([]byte, error) {
+	var b bytes.Buffer
+	if err := t.Save(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder, inverting GobEncode.
+func (t *EOPTable) GobDecode(data []byte) error {
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	*t = *loaded
+	return nil
 }
