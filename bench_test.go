@@ -489,16 +489,23 @@ func BenchmarkFleetRuntime(b *testing.B) {
 	// calibrating b.N; overwriting the slot keeps only the final
 	// (largest-N) measurement instead of accumulating probe runs.
 	nsPerOp := make(map[int]int64, len(workerCounts))
+	peakBytes := make(map[int]int64, len(workerCounts))
 	for _, workers := range workerCounts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var sum fleet.Summary
-			for i := 0; i < b.N; i++ {
-				var err error
-				sum, err = fleet.Run(config(workers))
-				if err != nil {
-					b.Fatal(err)
+			// Peak live heap is sampled across the whole measurement loop:
+			// the bounded-memory claim (peak tracks workers, not nodes) is
+			// recorded per variant so BENCH_fleet.json carries it
+			// longitudinally.
+			peak := fleet.HeapWatermark(func() {
+				for i := 0; i < b.N; i++ {
+					var err error
+					sum, err = fleet.Run(config(workers))
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
+			})
 			if sum.Fingerprint() != baseline.Fingerprint() {
 				b.Fatalf("summary at %d workers diverged from the 1-worker baseline", workers)
 			}
@@ -506,7 +513,9 @@ func BenchmarkFleetRuntime(b *testing.B) {
 			b.ReportMetric(sum.EnergySavedWh, "energy_saved_wh")
 			b.ReportMetric(float64(sum.Migrations), "migrations")
 			b.ReportMetric(float64(sum.Crashes), "node_crashes")
+			b.ReportMetric(float64(peak), "peak_bytes")
 			nsPerOp[workers] = b.Elapsed().Nanoseconds() / int64(b.N)
+			peakBytes[workers] = int64(peak)
 		})
 	}
 	// Append the machine-readable perf record to BENCH_fleet.json so
@@ -522,10 +531,13 @@ func BenchmarkFleetRuntime(b *testing.B) {
 			if nsPerOp[workers] == 0 {
 				continue
 			}
+			speedup := float64(nsPerOp[1]) / float64(nsPerOp[workers])
 			variants = append(variants, variant{
-				Workers: workers,
-				NsPerOp: nsPerOp[workers],
-				Speedup: float64(nsPerOp[1]) / float64(nsPerOp[workers]),
+				Workers:    workers,
+				NsPerOp:    nsPerOp[workers],
+				Speedup:    speedup,
+				Efficiency: speedup / float64(workers),
+				PeakBytes:  peakBytes[workers],
 			})
 		}
 		var hist fleetBenchFile
@@ -553,11 +565,18 @@ func BenchmarkFleetRuntime(b *testing.B) {
 	}
 }
 
-// variant is one worker-count leg of a fleet measurement.
+// variant is one worker-count leg of a fleet measurement. Efficiency
+// is speedup per worker (1.0 = perfect scaling) — the first-class
+// number behind the ROADMAP's 8-worker-stall observation — and
+// PeakBytes is the HeapAlloc high-water across the variant's
+// measurement loop, the bounded-memory claim in longitudinal form.
+// Both are zero in records that predate them.
 type variant struct {
-	Workers int     `json:"workers"`
-	NsPerOp int64   `json:"ns_per_op"`
-	Speedup float64 `json:"speedup_vs_1_worker"`
+	Workers    int     `json:"workers"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup_vs_1_worker"`
+	Efficiency float64 `json:"efficiency,omitempty"`
+	PeakBytes  int64   `json:"peak_bytes,omitempty"`
 }
 
 // fleetBenchRecord is one dated BenchmarkFleetRuntime measurement.

@@ -64,9 +64,11 @@ type fleetFile struct {
 		GOMAXPROCS  int    `json:"gomaxprocs"`
 		Fingerprint string `json:"fingerprint_sha256"`
 		Variants    []struct {
-			Workers int     `json:"workers"`
-			NsPerOp int64   `json:"ns_per_op"`
-			Speedup float64 `json:"speedup_vs_1_worker"`
+			Workers    int     `json:"workers"`
+			NsPerOp    int64   `json:"ns_per_op"`
+			Speedup    float64 `json:"speedup_vs_1_worker"`
+			Efficiency float64 `json:"efficiency"`
+			PeakBytes  int64   `json:"peak_bytes"`
 		} `json:"variants"`
 	} `json:"records"`
 }
@@ -107,12 +109,20 @@ func renderFleet(out io.Writer, path string) error {
 		return err
 	}
 	fmt.Fprintf(out, "\n## %s (%d nodes × %d windows)\n\n", f.Benchmark, f.Nodes, f.Windows)
-	fmt.Fprintf(out, "| run | date | env | gomaxprocs | ns/op @1w | best ns/op | best speedup |\n")
-	fmt.Fprintf(out, "|----:|------|-----|-----------:|----------:|-----------:|-------------:|\n")
+	fmt.Fprintf(out, "| run | date | env | gomaxprocs | ns/op @1w | best ns/op | best speedup | efficiency | peak heap |\n")
+	fmt.Fprintf(out, "|----:|------|-----|-----------:|----------:|-----------:|-------------:|-----------:|----------:|\n")
 	var series []float64
 	for i, r := range f.Records {
 		var oneW, best int64
 		var bestSpeed float64
+		// Efficiency (speedup per worker) and peak heap are reported at
+		// the record's highest worker count: that is where the ROADMAP's
+		// scaling stall lives and where memory pressure peaks. Old
+		// records predate both fields; efficiency falls back to
+		// speedup/workers, peak renders as a dash.
+		var maxWorkers int
+		var eff float64
+		var peak int64
 		for _, v := range r.Variants {
 			if v.Workers == 1 {
 				oneW = v.NsPerOp
@@ -123,13 +133,30 @@ func renderFleet(out io.Writer, path string) error {
 			if v.Speedup > bestSpeed {
 				bestSpeed = v.Speedup
 			}
+			if v.Workers > maxWorkers {
+				maxWorkers = v.Workers
+				eff = v.Efficiency
+				if eff == 0 && v.Workers > 0 {
+					eff = v.Speedup / float64(v.Workers)
+				}
+				peak = v.PeakBytes
+			}
 		}
-		fmt.Fprintf(out, "| %d | %s | %s | %d | %s | %s | %.2fx |\n",
-			i+1, orDash(r.Date), orDash(r.Env), r.GOMAXPROCS, ns(oneW), ns(best), bestSpeed)
+		fmt.Fprintf(out, "| %d | %s | %s | %d | %s | %s | %.2fx | %.2f @%dw | %s |\n",
+			i+1, orDash(r.Date), orDash(r.Env), r.GOMAXPROCS, ns(oneW), ns(best), bestSpeed,
+			eff, maxWorkers, mib(peak))
 		series = append(series, float64(oneW))
 	}
 	fmt.Fprintf(out, "\nns/op @1 worker, run over run (lower is better):\n\n    %s\n", sparkline(series))
 	return nil
+}
+
+// mib renders a byte count as MiB; zero (pre-field records) as a dash.
+func mib(v int64) string {
+	if v == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1fMiB", float64(v)/(1<<20))
 }
 
 func renderCampaign(out io.Writer, path string) error {

@@ -57,6 +57,10 @@ func run() error {
 	nodes := flag.Int("nodes", 1, "fleet size; >1 runs the concurrent multi-node engine")
 	workers := flag.Int("workers", 0,
 		"worker goroutines for the fleet engine (0 = GOMAXPROCS; campaigns parallelize across cells instead, so 0 = 1 worker per cell)")
+	shards := flag.Int("shards", 0,
+		"fleet/scenario runs: execute the node range in this many sequential shards (0 = the scenario's choice, else unsharded); never changes results, bounds coordinator memory for population-scale fleets")
+	archetypes := flag.Bool("archetypes", false,
+		"fleet mode: characterize once per silicon/DRAM bin and clone per node (O(bins) campaigns instead of O(nodes); deterministic, but a different experiment than per-node characterization)")
 	compare := flag.Bool("compare", false,
 		"fleet mode: also run a 1-worker reference pass, verify the summaries are identical, and report the measured speedup")
 	listScenarios := flag.Bool("list-scenarios", false, "list the bundled scenario presets and exit")
@@ -124,6 +128,12 @@ func run() error {
 		if set["lifetime"] || set["recharact-every"] || set["gap-duty"] {
 			return fmt.Errorf("scenarios declare their own lifetime (see the aging-year and recharact-* presets); -lifetime/-recharact-every/-gap-duty do not apply")
 		}
+		if set["archetypes"] {
+			return fmt.Errorf("scenarios declare their own characterization strategy (see the fleet-100k preset); -archetypes does not apply")
+		}
+		if set["shards"] && *campaignSpec != "" {
+			return fmt.Errorf("-shards does not apply to campaigns; each scenario declares its own shard count")
+		}
 	} else {
 		if *nodes > 1 && *closedLoop {
 			return fmt.Errorf("-closed-loop only applies to -nodes 1; the fleet engine always runs the supervised loop")
@@ -133,6 +143,9 @@ func run() error {
 		}
 		if *nodes <= 1 && *workers != 0 {
 			return fmt.Errorf("-workers only applies to fleet mode (-nodes > 1); the single-node loop is sequential")
+		}
+		if *nodes <= 1 && (set["shards"] || set["archetypes"]) {
+			return fmt.Errorf("-shards and -archetypes only apply to fleet mode (-nodes > 1)")
 		}
 	}
 	if *campaignSpec != "" && *logfile != "" {
@@ -208,7 +221,7 @@ func run() error {
 
 	switch {
 	case *scenarioName != "":
-		if err := runScenario(*scenarioName, nodesOverride, windowsOverride, *seed, *workers, healthOut); err != nil {
+		if err := runScenario(*scenarioName, nodesOverride, windowsOverride, *seed, *workers, *shards, healthOut); err != nil {
 			return err
 		}
 	case *campaignSpec != "":
@@ -216,7 +229,7 @@ func run() error {
 			return err
 		}
 	case *nodes > 1:
-		if err := runFleet(*nodes, *workers, *seed, m, *risk, *windows, *compare, plan, healthOut); err != nil {
+		if err := runFleet(*nodes, *workers, *shards, *seed, m, *risk, *windows, *compare, *archetypes, plan, healthOut); err != nil {
 			return err
 		}
 	default:
@@ -261,15 +274,27 @@ func printTrajectory(epochs []core.EpochSummary, finalAge float64) {
 	fmt.Printf("    end of life: +%.1f mV accumulated critical-voltage drift\n", finalAge)
 }
 
+// maxPerNodePrint bounds the per-node detail a run retains and
+// prints: above it the engine streams per-node summaries through the
+// OnNode callback instead of holding O(nodes) reports, so
+// population-scale runs stay in bounded memory. The cut depends only
+// on the node count, so the printed fingerprint stays deterministic —
+// but a streamed run's fingerprint carries aggregate lines only and is
+// not comparable against a small retained run's.
+const maxPerNodePrint = 64
+
 // runScenario runs one preset (optionally rescaled) and prints its
 // summary plus the determinism fingerprint hash.
-func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, workers int, healthOut *os.File) error {
+func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, workers, shards int, healthOut *os.File) error {
 	s, err := scenario.ByName(name)
 	if err != nil {
 		return err
 	}
 	if nodesOverride > 0 || windowsOverride > 0 {
 		s = s.Scale(nodesOverride, windowsOverride)
+	}
+	if shards > 0 {
+		s.Shards = shards
 	}
 	cfg, err := s.FleetConfig(seed)
 	if err != nil {
@@ -279,12 +304,24 @@ func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, w
 	if healthOut != nil {
 		cfg.HealthLogOut = healthOut
 	}
+	var cache *fleet.CharactCache
+	if s.Archetypes {
+		cache = fleet.NewCharactCache()
+		cfg.Charact = cache
+	}
+	streamed := 0
+	if s.Nodes > maxPerNodePrint {
+		cfg.OnNode = func(fleet.NodeSummary) { streamed++ }
+	}
 	fmt.Printf("== scenario %s: %s ==\n", s.Name, s.Description)
-	fmt.Printf("   %d nodes, %d windows, seed %d, %d workers (GOMAXPROCS %d)\n",
-		s.Nodes, s.Windows, seed, fleet.EffectiveWorkers(workers, s.Nodes), runtime.GOMAXPROCS(0))
-	sum, err := fleet.Run(cfg)
-	if err != nil {
-		return err
+	fmt.Printf("   %d nodes, %d windows, seed %d, %d workers (GOMAXPROCS %d), %d shards\n",
+		s.Nodes, s.Windows, seed, fleet.EffectiveWorkers(workers, s.Nodes), runtime.GOMAXPROCS(0),
+		fleet.EffectiveShards(s.Shards, s.Nodes))
+	var sum fleet.Summary
+	var runErr error
+	peak := fleet.HeapWatermark(func() { sum, runErr = fleet.Run(cfg) })
+	if runErr != nil {
+		return runErr
 	}
 	fmt.Printf("  windows at EOP:           %d of %d node-windows\n", sum.WindowsAtEOP, sum.Nodes*sum.Windows)
 	fmt.Printf("  node crashes (recovered): %d (%d re-characterizations)\n", sum.Crashes, sum.Recharacterized)
@@ -294,7 +331,17 @@ func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, w
 	fmt.Printf("  proactive migrations:     %d\n", sum.Migrations)
 	fmt.Printf("  SLA violations:           %d (%d user-facing)\n", sum.SLAViolations, sum.UserFacingViolations)
 	fmt.Printf("  fleet energy:             %.3f kWh, mean availability %.4f\n", sum.EnergyKWh, sum.MeanAvailability)
-	fmt.Printf("  wall-clock:               %v at %d workers\n", sum.WallClock.Round(time.Millisecond), sum.Workers)
+	fmt.Printf("  wall-clock:               %v at %d workers, %d shards\n",
+		sum.WallClock.Round(time.Millisecond), sum.Workers, sum.Shards)
+	fmt.Printf("  peak heap:                %.1f MiB\n", float64(peak)/(1<<20))
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("  archetype bins:           %d characterized, %d nodes cloned\n", st.Misses, st.Hits)
+	}
+	if streamed > 0 {
+		fmt.Printf("  per-node summaries:       %d streamed, none retained (fleet > %d nodes)\n",
+			streamed, maxPerNodePrint)
+	}
 	for _, n := range sum.PerNode {
 		fmt.Printf("    %-14s %-9s crashes %2d  eop %3d/%d  saved %7.2f Wh  safe %d mV\n",
 			n.Name, n.Model, n.Crashes, n.WindowsAtEOP, sum.Windows, n.EnergySavedWh, n.FinalSafeVoltageMV)
@@ -306,7 +353,7 @@ func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, w
 	}
 	fp := sha256.Sum256([]byte(sum.Fingerprint()))
 	fmt.Printf("\nfingerprint sha256:%s\n", hex.EncodeToString(fp[:]))
-	fmt.Println("(same preset + same seed => same fingerprint, at any -workers)")
+	fmt.Println("(same preset + same seed => same fingerprint, at any -workers/-shards)")
 	return nil
 }
 
@@ -404,20 +451,32 @@ func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, s
 
 // runFleet drives the concurrent multi-node engine and prints the
 // aggregate fleet summary.
-func runFleet(nodes, workers int, seed uint64, m vfr.Mode, risk float64, windows int, compare bool, plan *core.LifetimePlan, healthOut *os.File) error {
+func runFleet(nodes, workers, shards int, seed uint64, m vfr.Mode, risk float64, windows int, compare, archetypes bool, plan *core.LifetimePlan, healthOut *os.File) error {
 	cfg := fleet.DefaultConfig(nodes)
 	cfg.Workers = workers
+	cfg.Shards = shards
 	cfg.Seed = seed
 	cfg.Mode = m
 	cfg.RiskTarget = risk
 	cfg.Windows = windows
 	cfg.Lifetime = plan
+	cfg.Archetypes = archetypes
 	if healthOut != nil {
 		cfg.HealthLogOut = healthOut
 	}
+	var cache *fleet.CharactCache
+	if archetypes {
+		cache = fleet.NewCharactCache()
+		cfg.Charact = cache
+	}
+	streamed := 0
+	if nodes > maxPerNodePrint {
+		cfg.OnNode = func(fleet.NodeSummary) { streamed++ }
+	}
 
-	fmt.Printf("== UniServer fleet: %d nodes, %d workers (GOMAXPROCS %d), seed %d ==\n",
-		nodes, fleet.EffectiveWorkers(workers, nodes), runtime.GOMAXPROCS(0), seed)
+	fmt.Printf("== UniServer fleet: %d nodes, %d workers (GOMAXPROCS %d), %d shards, seed %d ==\n",
+		nodes, fleet.EffectiveWorkers(workers, nodes), runtime.GOMAXPROCS(0),
+		fleet.EffectiveShards(shards, nodes), seed)
 	if plan != nil {
 		fmt.Printf("\n[1/2] parallel characterization + %d-epoch lifetime (%d windows per epoch, %d-day gaps)\n",
 			plan.Epochs(), windows, plan.Gaps[0].Days)
@@ -425,12 +484,15 @@ func runFleet(nodes, workers int, seed uint64, m vfr.Mode, risk float64, windows
 		fmt.Printf("\n[1/2] parallel pre-deployment characterization + %d runtime epochs\n", windows)
 	}
 
-	sum, err := fleet.Run(cfg)
-	if err != nil {
-		return err
+	var sum fleet.Summary
+	var runErr error
+	peak := fleet.HeapWatermark(func() { sum, runErr = fleet.Run(cfg) })
+	if runErr != nil {
+		return runErr
 	}
 
 	var ref fleet.Summary
+	var err error
 	if compare {
 		refCfg := cfg
 		refCfg.Workers = 1
@@ -455,7 +517,17 @@ func runFleet(nodes, workers int, seed uint64, m vfr.Mode, risk float64, windows
 	fmt.Printf("  proactive migrations:     %d\n", sum.Migrations)
 	fmt.Printf("  SLA violations:           %d (%d user-facing)\n", sum.SLAViolations, sum.UserFacingViolations)
 	fmt.Printf("  fleet energy:             %.3f kWh, mean availability %.4f\n", sum.EnergyKWh, sum.MeanAvailability)
-	fmt.Printf("  wall-clock:               %v at %d workers\n", sum.WallClock.Round(time.Millisecond), sum.Workers)
+	fmt.Printf("  wall-clock:               %v at %d workers, %d shards\n",
+		sum.WallClock.Round(time.Millisecond), sum.Workers, sum.Shards)
+	fmt.Printf("  peak heap:                %.1f MiB\n", float64(peak)/(1<<20))
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("  archetype bins:           %d characterized, %d nodes cloned\n", st.Misses, st.Hits)
+	}
+	if streamed > 0 {
+		fmt.Printf("  per-node summaries:       %d streamed, none retained (fleet > %d nodes)\n",
+			streamed, maxPerNodePrint)
+	}
 	if compare {
 		fmt.Printf("  1-worker reference:       %v — summaries byte-identical, measured speedup %.2fx\n",
 			ref.WallClock.Round(time.Millisecond),
@@ -469,6 +541,8 @@ func runFleet(nodes, workers int, seed uint64, m vfr.Mode, risk float64, windows
 		fmt.Printf("\n  margin trajectory (%s):\n", sum.PerNode[0].Name)
 		printTrajectory(sum.PerNode[0].Epochs, sum.PerNode[0].FinalAgeShiftMV)
 	}
+	fp := sha256.Sum256([]byte(sum.Fingerprint()))
+	fmt.Printf("\nfingerprint sha256:%s\n", hex.EncodeToString(fp[:]))
 	fmt.Println("\ndone: fleet ran at extended operating points with reliability-aware scheduling")
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"uniserver/internal/rng"
 	"uniserver/internal/telemetry"
 	"uniserver/internal/thermal"
 )
@@ -92,6 +93,36 @@ func (s *Snapshot) Restore(opts RestoreOptions) (*Ecosystem, error) {
 	c.cpuTherm = thermal.CPUNode(ambCPU)
 	c.memTherm = thermal.DIMMNode(ambDIMM)
 	return c, nil
+}
+
+// Reseed re-keys the ecosystem's runtime-facing random streams to a
+// fresh seed — the archetype-clone hook. A fleet that characterizes
+// one ecosystem per silicon/DRAM bin Restores a deep copy per node
+// and Reseeds each copy with the node's own seed, so everything the
+// deployment draws from here on — per-window core sampling, DRAM
+// retention windows, fast-forward telegraph draws, re-characterization
+// campaigns, machine measurement noise — diverges per node while the
+// characterized state (published EOP table, weak-cell population,
+// trained predictor, protected objects) stays the bin's.
+//
+// The main stream is repositioned at exactly the state a fresh
+// New(seed) ecosystem carries into deployment: construction and
+// PreDeployment consume only labeled child streams, never the main
+// stream, so rng.New(seed) is that state verbatim. The machine's
+// measurement stream moves to a labeled split of the same seed
+// ("machine/runtime" — a label no construction-time consumer uses),
+// repositioned in place so the StressLog daemon's machine reference
+// observes it too. Like Snapshot, reseeding is only exact where no
+// mid-epoch runtime state could alias the old streams: before the
+// first window or on an epoch boundary.
+func (e *Ecosystem) Reseed(seed uint64) error {
+	if e.windowsRun > 0 && !e.atEpochBoundary {
+		return fmt.Errorf("core: reseed after %d runtime windows is unsupported mid-epoch; reseed before the first window or on a fast-forward epoch boundary", e.windowsRun)
+	}
+	e.opts.Seed = seed
+	e.src = rng.New(seed)
+	e.Machine.ReseedStream(rng.New(seed).SplitLabeled("machine/runtime").State())
+	return nil
 }
 
 // clone deep-copies the ecosystem, directing future health-log lines

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"uniserver/internal/rng"
 	"uniserver/internal/vfr"
 	"uniserver/internal/workload"
 )
@@ -202,5 +203,62 @@ func TestSnapshotRestoreAllocBudget(t *testing.T) {
 	if avg > restoreAllocBudget {
 		t.Fatalf("Snapshot.Restore allocates %.0f, budget is %d — the clone path regressed",
 			avg, restoreAllocBudget)
+	}
+}
+
+// TestReseedRepositionsStreams pins the archetype-clone hook exactly:
+// after Reseed(seed), the main stream sits at precisely the state a
+// fresh New(seed) ecosystem carries into deployment (construction and
+// PreDeployment consume only labeled child streams), and the machine's
+// measurement stream sits at the "machine/runtime" labeled split of
+// the same seed — repositioned in place, so the StressLog daemon's
+// machine reference observes it too. Mid-epoch reseeds are refused for
+// the same reason mid-epoch snapshots are.
+func TestReseedRepositionsStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow; skipping in -short")
+	}
+	eco, _ := readyEcosystem(t, 3)
+	snap, err := eco.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := snap.Restore(RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 99
+	if err := clone.Reseed(seed); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := clone.src.State(), rng.New(seed).State(); got != want {
+		t.Fatalf("main stream at %#x after reseed, want fresh New(%d) state %#x", got, seed, want)
+	}
+	if got, want := clone.Machine.StreamState(), rng.New(seed).SplitLabeled("machine/runtime").State(); got != want {
+		t.Fatalf("machine stream at %#x after reseed, want labeled split %#x", got, want)
+	}
+	// The characterized state stays the bin's: reseeding must not touch
+	// the published table or the trained model.
+	if clone.table == nil || clone.advisor == nil {
+		t.Fatal("reseed dropped characterized state")
+	}
+
+	// A reseeded clone is deployable and deterministic in its new seed:
+	// two restores reseeded alike must trace identically.
+	clone2, err := snap.Restore(RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone2.Reseed(seed); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := deploymentTrace(t, clone, 10), deploymentTrace(t, clone2, 10); a != b {
+		t.Fatalf("same-seed reseeded clones diverged:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+
+	// Mid-epoch refusal: once runtime windows have run, the streams are
+	// entangled with thermal state a reseed cannot reposition.
+	if err := clone.Reseed(7); err == nil {
+		t.Fatal("mid-deployment reseed accepted")
 	}
 }

@@ -181,6 +181,15 @@ func (m *Machine) Clone() *Machine {
 // exported state.
 func (m *Machine) StreamState() uint64 { return m.src.State() }
 
+// ReseedStream repositions the measurement stream at the given state
+// word — the archetype-clone hook: machines cloned from one
+// characterized specimen share the fabricated die (same margins, same
+// aging) but must draw independent measurement noise from here on.
+// The stream is replaced in place, so every holder of the machine
+// pointer (the StressLog daemon included) sees the repositioned
+// stream.
+func (m *Machine) ReseedStream(state uint64) { m.src = rng.FromState(state) }
+
 // RestoreMachine reassembles a machine from serialized parts: the
 // part spec, the fabricated (and possibly aged) chip, and the
 // measurement-stream position StreamState captured. The result runs

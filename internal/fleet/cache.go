@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"uniserver/internal/core"
+	"uniserver/internal/rng"
 )
 
 // CharactCache memoizes pre-deployment characterization results by
@@ -142,27 +143,47 @@ func (c *CharactCache) characterized(key string, wantLog bool,
 	return e.snap, e.pre, e.log, e.err
 }
 
-// charactKey canonically identifies a characterization outcome: the
-// node seed plus every NodeSpec field PreDeployment actually reads —
-// the silicon part (with its full process corner) and the DRAM
-// configuration. Mode, risk target, workload, schedulable memory and
-// the ambient temperatures are deliberately excluded: they only shape
-// the deployment that runs after Restore (mode entry re-derives the
-// operating point from the restored table, and Restore re-seats the
-// thermal nodes), so cells differing only in those fields share one
-// characterization. A zero Part is canonicalized to the part
-// DefaultOptions resolves it to, so explicit-default and
-// implicit-default specs collide. wantLog is part of the key because
-// log bytes are captured only when a health log was requested.
+// ArchetypeBin canonically renders the characterization identity of a
+// NodeSpec: every field PreDeployment actually reads — the silicon
+// part (with its full process corner) and the DRAM configuration
+// (whose initial temperature the retention pattern tests consult) —
+// and nothing else. Mode, risk target, workload, schedulable memory
+// and the ambient temperatures are deliberately excluded: they only
+// shape the deployment that runs after Restore (mode entry re-derives
+// the operating point from the restored table, and Restore re-seats
+// the thermal nodes), so specs differing only in those
+// deployment-phase fields land in the same bin. A zero Part is
+// canonicalized to the part DefaultOptions resolves it to, so
+// explicit-default and implicit-default specs collide.
 //
-// The %+v renderings are deterministic (the structs contain no maps)
-// and intentionally field-exhaustive: a field added to PartSpec,
-// Process or dram.Config changes the key and conservatively splits the
-// cache rather than silently sharing across a difference.
-func charactKey(seed uint64, spec NodeSpec, wantLog bool) string {
+// The same string serves two consumers: charactKey scopes it by node
+// seed for the per-node snapshot cache, and archetype-clone
+// characterization (Config.Archetypes) uses it seedless, as the bin
+// identity all same-spec nodes share. The %+v renderings are
+// deterministic (the structs contain no maps) and intentionally
+// field-exhaustive: a field added to PartSpec, Process or dram.Config
+// changes the bin and conservatively splits the cache rather than
+// silently sharing across a difference.
+func ArchetypeBin(spec NodeSpec) string {
 	part := spec.Part
 	if part.Cores == 0 {
 		part = core.DefaultOptions().Part
 	}
-	return fmt.Sprintf("seed=%d log=%t part=%+v mem=%+v", seed, wantLog, part, spec.Mem)
+	return fmt.Sprintf("part=%+v mem=%+v", part, spec.Mem)
+}
+
+// ArchetypeSeed derives the characterization seed of an archetype bin
+// from the fleet seed — the bin-level analogue of NodeSeed, and like
+// it a pure function, so which node first characterizes a bin can
+// never matter.
+func ArchetypeSeed(seed uint64, bin string) uint64 {
+	return rng.New(seed).SplitLabeled("fleet/archetype/" + bin).Uint64()
+}
+
+// charactKey scopes a characterization identity by the seed that
+// drives it (the node seed on the per-node path, the bin seed under
+// Config.Archetypes). wantLog is part of the key because log bytes are
+// captured only when a health log was requested.
+func charactKey(seed uint64, spec NodeSpec, wantLog bool) string {
+	return fmt.Sprintf("seed=%d log=%t %s", seed, wantLog, ArchetypeBin(spec))
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"uniserver/internal/core"
+	"uniserver/internal/cpu"
+	"uniserver/internal/workload"
 )
 
 // TestCharactCacheByteIdentical pins the cache's safety contract at
@@ -108,5 +110,50 @@ func TestCharactKeyCanonicalization(t *testing.T) {
 	}
 	if got := charactKey(42, base, true); got == key {
 		t.Fatal("log capture did not split the key")
+	}
+}
+
+// TestArchetypeBinFieldAudit is the field-by-field audit of archetype
+// binning: every NodeSpec field is listed with whether it splits the
+// bin. Characterization inputs — the silicon part and every DRAM
+// configuration field, initial DIMM temperature included (the
+// retention pattern tests read it) — split; deployment-phase fields —
+// operating point, workload, schedulable memory, ambient — do not,
+// because they only shape what happens after Restore. A field missing
+// from this table is a review prompt: decide which side it binning
+// falls on and add it.
+func TestArchetypeBinFieldAudit(t *testing.T) {
+	t.Parallel()
+	base := DefaultConfig(2).BaseSpec()
+	baseBin := ArchetypeBin(base)
+	cases := []struct {
+		field  string
+		mutate func(*NodeSpec)
+		splits bool
+	}{
+		{"Mode", func(s *NodeSpec) { s.Mode = 2 }, false},
+		{"RiskTarget", func(s *NodeSpec) { s.RiskTarget = 0.5 }, false},
+		{"Workload", func(s *NodeSpec) { s.Workload = workload.BatchAnalytics() }, false},
+		{"MemBytes", func(s *NodeSpec) { s.MemBytes = 1 << 30 }, false},
+		{"AmbientCPUC", func(s *NodeSpec) { s.AmbientCPUC = 40 }, false},
+		{"AmbientDIMMC", func(s *NodeSpec) { s.AmbientDIMMC = 46 }, false},
+		{"Part (explicit default)", func(s *NodeSpec) { s.Part = core.DefaultOptions().Part }, false},
+		{"Part (different bin)", func(s *NodeSpec) { s.Part = cpu.PartI7_3970X() }, true},
+		{"Mem.Channels", func(s *NodeSpec) { s.Mem.Channels++ }, true},
+		{"Mem.DIMMsPerChannel", func(s *NodeSpec) { s.Mem.DIMMsPerChannel++ }, true},
+		{"Mem.DIMMBytes", func(s *NodeSpec) { s.Mem.DIMMBytes *= 2 }, true},
+		{"Mem.DeviceGb", func(s *NodeSpec) { s.Mem.DeviceGb *= 2 }, true},
+		{"Mem.TempC", func(s *NodeSpec) { s.Mem.TempC += 10 }, true},
+	}
+	for _, tc := range cases {
+		spec := base
+		tc.mutate(&spec)
+		got := ArchetypeBin(spec)
+		if tc.splits && got == baseBin {
+			t.Errorf("%s: characterization-relevant field did not split the bin", tc.field)
+		}
+		if !tc.splits && got != baseBin {
+			t.Errorf("%s: deployment-phase field split the bin:\n%s\nvs\n%s", tc.field, baseBin, got)
+		}
 	}
 }

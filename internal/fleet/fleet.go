@@ -1,15 +1,29 @@
 // Package fleet is the concurrent multi-node runtime: a deterministic,
 // worker-pool-driven engine that runs N core.Ecosystem nodes in
-// parallel — pre-deployment characterization (stress campaigns,
-// fault-injection, predictor training) fans out across workers, each
-// node then batches through its entire window sequence on one worker
-// (buffering a compact health record per window), and the coordinator
-// replays the recorded health into the openstack.Manager scheduler in
-// window order (reliability metric, proactive migration, SLA
-// accounting). Batching is legal because node simulations never read
-// cloud-layer state: the replay feeds the manager byte-identical
-// inputs, in the identical order, as a per-window barrier would, at a
-// fraction of the synchronization cost.
+// parallel. Each node's entire lifecycle is one fused worker task —
+// pre-deployment characterization (stress campaigns, fault-injection,
+// predictor training, or an archetype-snapshot restore), mode entry,
+// cloud export, then the full window sequence, buffering a compact
+// health record per window — after which the node's ecosystem is
+// dropped and only its summary, health records and exported cloud node
+// survive. The coordinator then replays the recorded health into the
+// openstack.Manager scheduler in window order (reliability metric,
+// proactive migration, SLA accounting). Batching is legal because node
+// simulations never read cloud-layer state: the replay feeds the
+// manager byte-identical inputs, in the identical order, as a
+// per-window barrier would, at a fraction of the synchronization cost.
+//
+// The fused lifecycle is what bounds memory: at most `workers` full
+// ecosystems are alive at any instant, independent of fleet size, so
+// peak heap scales as workers × ecosystem-size plus O(nodes) compact
+// state (health records, summaries, exported cloud nodes) — which is
+// what makes O(100k)-node populations runnable. Config.Shards
+// partitions the node range into contiguous batches run one after
+// another, bounding the coordinator's unfolded-summary backlog to one
+// shard; Config.OnNode streams per-node summaries out instead of
+// retaining them; Config.Archetypes collapses characterization cost
+// from O(nodes) to O(distinct silicon/DRAM bins) by cloning one
+// characterized snapshot per bin with per-node stream reseating.
 //
 // Determinism is a hard requirement and a structural property, not a
 // best effort: every node owns its rng.Source (seeded by the pure
@@ -18,8 +32,11 @@
 // workers write only to their own node's slot; and everything that
 // crosses nodes — health reports into the manager, VM arrivals, the
 // final summary — is merged in node order on the coordinator
-// goroutine. The same seed therefore produces byte-identical fleet
-// fingerprints at any worker count, while wall-clock drops with cores.
+// goroutine. Shards fold strictly in shard order and nodes within a
+// shard in node order, so the global merge order is exactly the
+// unsharded engine's node order. The same seed therefore produces
+// byte-identical fleet fingerprints at any worker count AND any shard
+// count, while wall-clock drops with cores.
 package fleet
 
 import (
@@ -48,7 +65,8 @@ type Config struct {
 	// Nodes is the fleet size.
 	Nodes int
 	// Workers bounds the worker pool; <= 0 means GOMAXPROCS. Worker
-	// count never changes results, only wall-clock.
+	// count never changes results, only wall-clock — and it is the
+	// memory dial: at most Workers ecosystems are alive at once.
 	Workers int
 	// Seed drives the whole fleet; per-node seeds derive from it via
 	// NodeSeed.
@@ -96,14 +114,51 @@ type Config struct {
 	Arrivals []workload.Arrival
 
 	// Charact, when set, memoizes pre-deployment characterization by
-	// (node seed, characterization-relevant spec): nodes whose key is
+	// (seed, characterization-relevant spec): nodes whose key is
 	// already cached restore a deep ecosystem snapshot instead of
 	// re-running the stress/fault-injection/training campaign. Results
 	// are byte-identical either way (pinned by the preset golden
 	// tests); only wall-clock changes. Share one cache across the runs
-	// of a campaign — node seeds within a single run are all distinct,
-	// so a run-private cache only pays the snapshot overhead.
+	// of a campaign. Without Archetypes, node seeds within a single
+	// run are all distinct, so a run-private cache only pays the
+	// snapshot overhead; with Archetypes, the cache is where the
+	// per-bin dedup lives (a run-private cache is created when none is
+	// supplied).
 	Charact *CharactCache
+
+	// Archetypes switches characterization from per-node to per-bin:
+	// every node whose spec shares an archetype bin (same silicon part
+	// and DRAM configuration — see ArchetypeBin) restores a clone of
+	// one bin-seeded characterization (ArchetypeSeed) and reseeds its
+	// runtime streams with the node's own seed (core.Ecosystem.Reseed),
+	// so characterization cost is O(bins) instead of O(nodes) while
+	// runtime stochasticity stays per-node. Results are deterministic
+	// and worker/shard-invariant, but intentionally differ from
+	// per-node characterization: nodes in a bin share the bin's
+	// published margins, weak-cell population and trained predictor
+	// instead of drawing their own silicon/DRAM lottery.
+	Archetypes bool
+
+	// Shards partitions the node range into contiguous batches that
+	// execute one after another, each fanned out across the worker
+	// pool. Sharding never changes results — shards fold in shard
+	// order and nodes within a shard in node order, reproducing the
+	// unsharded engine's node-order merge exactly — it only bounds the
+	// coordinator's unfolded per-node backlog to one shard and gives
+	// OnNode consumers shard-granular streaming. <= 0 means one shard.
+	Shards int
+
+	// OnNode, when set, receives each node's finished summary as the
+	// coordinator folds it — node order within a shard, shard order
+	// across, always from the coordinator goroutine — and
+	// Summary.PerNode is left nil: callers that stream do not pay
+	// O(nodes) retained reports, and the fingerprint carries aggregate
+	// lines only (still deterministic at any worker and shard count,
+	// but not comparable against an OnNode-less run's fingerprint).
+	// On a failed run, summaries streamed from shards that completed
+	// before the failure was discovered will already have been
+	// delivered.
+	OnNode func(NodeSummary)
 
 	// Lifetime, when set, stretches every node's run across aging
 	// epochs: each epoch is a windowed simulation, separated by
@@ -240,6 +295,25 @@ func EffectiveWorkers(workers, nodes int) int {
 	return workers
 }
 
+// EffectiveShards resolves a requested shard count the way Run does:
+// non-positive means one shard, and never more shards than nodes.
+func EffectiveShards(shards, nodes int) int {
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+	return shards
+}
+
+// shardRange returns shard s's contiguous node range [lo, hi) under
+// the balanced partition Run uses: sizes differ by at most one, and
+// concatenating the ranges in shard order yields [0, nodes) exactly.
+func shardRange(nodes, shards, s int) (lo, hi int) {
+	return nodes * s / shards, nodes * (s + 1) / shards
+}
+
 // NodeSeed derives node i's seed from the fleet seed. It is a pure
 // function of (seed, i) — independent of worker count and of every
 // other node — so characterization outcomes are stable however the
@@ -269,8 +343,8 @@ type NodeSummary struct {
 	Epochs          []core.EpochSummary `json:"Epochs,omitempty"`
 }
 
-// Summary aggregates a fleet run. All fields except Workers and
-// WallClock are deterministic functions of the Config.
+// Summary aggregates a fleet run. All fields except Workers, Shards
+// and WallClock are deterministic functions of the Config.
 type Summary struct {
 	Nodes   int
 	Windows int
@@ -297,16 +371,20 @@ type Summary struct {
 	EnergyKWh            float64
 	MeanAvailability     float64
 
+	// PerNode holds every node's summary in node order — nil when the
+	// run streamed summaries through Config.OnNode instead.
 	PerNode []NodeSummary
 
-	// Workers and WallClock describe this particular execution; they
-	// are excluded from Fingerprint — and from JSON, so serialized
-	// reports stay byte-comparable across runs — so summaries can be
-	// compared across worker counts. Realized speedup is measured by
-	// running the same Config at different worker counts and comparing
-	// WallClock — never estimated from goroutine-elapsed times, which
-	// oversubscription inflates.
+	// Workers, Shards and WallClock describe this particular
+	// execution; they are excluded from Fingerprint — and from JSON,
+	// so serialized reports stay byte-comparable across runs — so
+	// summaries can be compared across worker and shard counts.
+	// Realized speedup is measured by running the same Config at
+	// different worker counts and comparing WallClock — never
+	// estimated from goroutine-elapsed times, which oversubscription
+	// inflates.
 	Workers   int           `json:"-"`
+	Shards    int           `json:"-"`
 	WallClock time.Duration `json:"-"`
 }
 
@@ -353,35 +431,49 @@ func exactFloat(f float64) string {
 
 // epochHealth is one node's compact per-window health record, buffered
 // while the node batches through its windows and replayed into the
-// cloud layer afterwards.
+// cloud layer afterwards. It is the dominant O(nodes × windows) term
+// of a population run's memory, so it is packed: a window's
+// correctable-error count and thermal alarm level fit comfortably in
+// 32 and 8 bits (alarms are 0/1/2; ECC events per one-minute window
+// are single digits).
 type epochHealth struct {
 	failProb     float64
-	correctable  int
-	thermalAlarm int
+	correctable  int32
+	thermalAlarm uint8
 	crashed      bool
 }
 
-// nodeState is one node's slot. Exactly one worker touches a slot
-// during each parallel phase; the coordinator reads all slots only
-// after the phase's join.
+// nodeState is one node's slot: the state that outlives the node's
+// fused worker task. The ecosystem and deployment live only inside the
+// task — what survives is the compact health sequence, the deployment
+// summary, the exported cloud node and (when requested) the log
+// buffer. Exactly one worker touches a slot during a shard's parallel
+// phase; the coordinator reads slots only after the shard's join.
 type nodeState struct {
 	name  string
 	seed  uint64
 	model string
 
-	eco    *core.Ecosystem
-	dep    *core.Deployment
 	osNode *openstack.Node
 	pre    core.PreDeploymentReport
+	depSum core.DeploymentSummary
 	log    bytes.Buffer
 
 	// health[w] is the node's window-w report; errWindow is the window
-	// the node failed at (len(health) when it didn't).
+	// the node failed at — cfg.Windows when it didn't, charactWindow
+	// for failures before the first window (characterization, mode
+	// entry, export).
 	health    []epochHealth
 	errWindow int
 
 	err error
 }
+
+// charactWindow is the errWindow value of failures that precede the
+// first runtime window; it sorts before every real window, so
+// pre-deployment failures win the earliest-failure selection exactly
+// as they did when characterization was its own phase.
+const charactWindow = -1
 
 // specOptions resolves a node's spec and seed into the core Options
 // both characterization paths build from; keeping it single-sourced is
@@ -399,25 +491,53 @@ func specOptions(spec NodeSpec, seed uint64) core.Options {
 	return opts
 }
 
+// charactBuilder returns the direct-characterization closure for
+// (spec, seed): build the ecosystem, run the full pre-deployment
+// pipeline, log into out (nil discards). All three characterization
+// paths — direct, cached, archetype — run exactly this, so they can
+// never configure divergent ecosystems.
+func charactBuilder(spec NodeSpec, seed uint64) func(out io.Writer) (*core.Ecosystem, core.PreDeploymentReport, error) {
+	return func(out io.Writer) (*core.Ecosystem, core.PreDeploymentReport, error) {
+		opts := specOptions(spec, seed)
+		opts.HealthLogOut = out
+		eco, err := core.New(opts)
+		if err != nil {
+			return nil, core.PreDeploymentReport{}, err
+		}
+		pre, err := eco.PreDeployment()
+		if err != nil {
+			return nil, core.PreDeploymentReport{}, err
+		}
+		return eco, pre, nil
+	}
+}
+
 // characterize is the direct path: build the node's ecosystem and run
 // the full pre-deployment pipeline on it. The per-node log buffer (and
 // the JSON marshal every window that fills it) exists only when the
 // caller asked for the log; the health daemon's triggers and retention
 // behave identically either way.
 func (s *nodeState) characterize(spec NodeSpec, wantLog bool) (*core.Ecosystem, core.PreDeploymentReport, error) {
-	opts := specOptions(spec, s.seed)
+	var out io.Writer
 	if wantLog {
-		opts.HealthLogOut = &s.log
+		out = &s.log
 	}
-	eco, err := core.New(opts)
-	if err != nil {
-		return nil, core.PreDeploymentReport{}, err
+	return charactBuilder(spec, s.seed)(out)
+}
+
+// restoreFrom materializes this node's ecosystem from a cached
+// snapshot: replay the captured characterization log bytes (when
+// logging), rebind the log writer and re-seat the ambient.
+func (s *nodeState) restoreFrom(snap *core.Snapshot, spec NodeSpec, logBytes []byte, wantLog bool) (*core.Ecosystem, error) {
+	ropts := core.RestoreOptions{
+		AmbientCPUC:  spec.AmbientCPUC,
+		AmbientDIMMC: spec.AmbientDIMMC,
 	}
-	pre, err := eco.PreDeployment()
-	if err != nil {
-		return nil, core.PreDeploymentReport{}, err
+	if wantLog {
+		s.log.Write(logBytes)
+		ropts.HealthLogOut = &s.log
 	}
-	return eco, pre, nil
+	return snap.Restore(ropts)
 }
 
 // characterizeCached is the snapshot path: the cache runs the direct
@@ -430,39 +550,45 @@ func (s *nodeState) characterize(spec NodeSpec, wantLog bool) (*core.Ecosystem, 
 // goldens instead of hiding behind a warm cache.
 func (s *nodeState) characterizeCached(cache *CharactCache, spec NodeSpec, wantLog bool) (*core.Ecosystem, core.PreDeploymentReport, error) {
 	snap, pre, logBytes, err := cache.characterized(charactKey(s.seed, spec, wantLog), wantLog,
-		func(out io.Writer) (*core.Ecosystem, core.PreDeploymentReport, error) {
-			opts := specOptions(spec, s.seed)
-			opts.HealthLogOut = out
-			eco, err := core.New(opts)
-			if err != nil {
-				return nil, core.PreDeploymentReport{}, err
-			}
-			pre, err := eco.PreDeployment()
-			if err != nil {
-				return nil, core.PreDeploymentReport{}, err
-			}
-			return eco, pre, nil
-		})
+		charactBuilder(spec, s.seed))
 	if err != nil {
 		return nil, core.PreDeploymentReport{}, err
 	}
-	ropts := core.RestoreOptions{
-		AmbientCPUC:  spec.AmbientCPUC,
-		AmbientDIMMC: spec.AmbientDIMMC,
-	}
-	if wantLog {
-		s.log.Write(logBytes)
-		ropts.HealthLogOut = &s.log
-	}
-	eco, err := snap.Restore(ropts)
+	eco, err := s.restoreFrom(snap, spec, logBytes, wantLog)
 	if err != nil {
 		return nil, core.PreDeploymentReport{}, err
 	}
 	return eco, pre, nil
 }
 
-// Run executes a full fleet lifecycle: parallel characterization,
-// cluster assembly, VM stream scheduling, and Windows barrier epochs.
+// characterizeArchetype is the bin-clone path: the whole archetype bin
+// shares one characterization, seeded by the bin (ArchetypeSeed), and
+// each node restores a deep copy and reseeds its runtime streams with
+// its own node seed. Which node populates the bin entry first can
+// never matter — the bin seed, not the node seed, drives the campaign
+// — so results are worker- and shard-invariant by construction.
+func (s *nodeState) characterizeArchetype(cache *CharactCache, fleetSeed uint64, spec NodeSpec, wantLog bool) (*core.Ecosystem, core.PreDeploymentReport, error) {
+	binSeed := ArchetypeSeed(fleetSeed, ArchetypeBin(spec))
+	snap, pre, logBytes, err := cache.characterized(charactKey(binSeed, spec, wantLog), wantLog,
+		charactBuilder(spec, binSeed))
+	if err != nil {
+		return nil, core.PreDeploymentReport{}, err
+	}
+	eco, err := s.restoreFrom(snap, spec, logBytes, wantLog)
+	if err != nil {
+		return nil, core.PreDeploymentReport{}, err
+	}
+	if err := eco.Reseed(s.seed); err != nil {
+		return nil, core.PreDeploymentReport{}, err
+	}
+	return eco, pre, nil
+}
+
+// Run executes a full fleet lifecycle: per shard, every node's fused
+// characterize→deploy→step task fans out across the worker pool and
+// the shard folds into the summary; then the coordinator assembles the
+// cluster, streams the VM arrivals and replays the buffered health
+// into the cloud layer window by window.
 func Run(cfg Config) (Summary, error) {
 	start := time.Now()
 	if cfg.Nodes <= 0 {
@@ -480,47 +606,89 @@ func Run(cfg Config) (Summary, error) {
 		cfg.Windows = cfg.Lifetime.TotalWindows()
 	}
 	workers := EffectiveWorkers(cfg.Workers, cfg.Nodes)
+	shards := EffectiveShards(cfg.Shards, cfg.Nodes)
 	if cfg.Repair <= 0 {
 		cfg.Repair = 15 * time.Minute
+	}
+	charact := cfg.Charact
+	if charact == nil && cfg.Archetypes {
+		// The cache is where archetype dedup lives: a run without a
+		// caller-shared cache gets a run-private one.
+		charact = NewCharactCache()
 	}
 
 	states := make([]*nodeState, cfg.Nodes)
 	for i := range states {
 		states[i] = &nodeState{
-			name: fmt.Sprintf("uniserver-%02d", i),
-			seed: NodeSeed(cfg.Seed, i),
+			name:      fmt.Sprintf("uniserver-%02d", i),
+			seed:      NodeSeed(cfg.Seed, i),
+			errWindow: cfg.Windows,
 		}
 	}
 
-	// Phase 1 — pre-deployment characterization fans out across the
-	// pool: each worker obtains its node's fully characterized
-	// ecosystem — running the stress campaign, fault-injection and
-	// predictor training, or restoring a snapshot from the shared
-	// cache when another cell already characterized this (seed, spec)
-	// — then enters the requested mode and exports the node to the
-	// cloud layer.
 	wantLog := cfg.HealthLogOut != nil
-	forEachNode(workers, len(states), func(i int) {
+	// failFloor is the earliest failing window any node has reported:
+	// once a run is doomed, healthy nodes stop at that window instead
+	// of simulating out their full horizon (their buffered health
+	// always covers [0, floor), which is all the replay could consume
+	// before aborting). Purely an early-exit; results on the success
+	// path are untouched. When a health log was requested the early
+	// exit is disabled: where a healthy node happens to observe the
+	// floor depends on goroutine scheduling, and a log truncated at a
+	// scheduling-dependent window would break the contract that the
+	// flushed log is byte-identical across runs — on the error path,
+	// exactly where the diagnostics matter most.
+	earlyExit := cfg.HealthLogOut == nil
+	var failFloor atomic.Int64
+	failFloor.Store(int64(cfg.Windows))
+	reportFail := func(w int) {
+		if w < 0 {
+			w = 0
+		}
+		for {
+			cur := failFloor.Load()
+			if int64(w) >= cur || failFloor.CompareAndSwap(cur, int64(w)) {
+				return
+			}
+		}
+	}
+
+	// runNode is one node's fused lifecycle — characterization, mode
+	// entry, cloud export, the full window sequence, and the final
+	// deployment summary. The ecosystem and deployment are locals: when
+	// the task returns, the node's multi-megabyte simulator stack is
+	// garbage, and only the compact slot state survives. That locality
+	// is the engine's memory bound — at most `workers` ecosystems exist
+	// at any instant, however many nodes the fleet has.
+	runNode := func(i int) {
 		s := states[i]
+		failNode := func(w int, err error) {
+			s.err, s.errWindow = err, w
+			reportFail(w)
+		}
 		spec := cfg.nodeSpec(i)
 		var (
 			eco *core.Ecosystem
 			pre core.PreDeploymentReport
 			err error
 		)
-		if cfg.Charact != nil {
-			eco, pre, err = s.characterizeCached(cfg.Charact, spec, wantLog)
-		} else {
+		switch {
+		case cfg.Archetypes:
+			eco, pre, err = s.characterizeArchetype(charact, cfg.Seed, spec, wantLog)
+		case charact != nil:
+			eco, pre, err = s.characterizeCached(charact, spec, wantLog)
+		default:
 			eco, pre, err = s.characterize(spec, wantLog)
 		}
 		if err != nil {
-			s.err = fmt.Errorf("fleet: node %d characterization: %w", i, err)
+			failNode(charactWindow, fmt.Errorf("fleet: node %d characterization: %w", i, err))
 			return
 		}
 		s.model = eco.Machine.Spec.Model
+		s.pre = pre
 		dep, err := eco.StartDeployment(spec.Mode, spec.RiskTarget, spec.Workload)
 		if err != nil {
-			s.err = fmt.Errorf("fleet: node %d mode entry: %w", i, err)
+			failNode(charactWindow, fmt.Errorf("fleet: node %d mode entry: %w", i, err))
 			return
 		}
 		if cfg.Lifetime != nil {
@@ -528,11 +696,98 @@ func Run(cfg Config) (Summary, error) {
 		}
 		n, err := eco.Node(s.name, spec.MemBytes)
 		if err != nil {
-			s.err = fmt.Errorf("fleet: node %d export: %w", i, err)
+			failNode(charactWindow, fmt.Errorf("fleet: node %d export: %w", i, err))
 			return
 		}
-		s.eco, s.dep, s.osNode, s.pre = eco, dep, n, pre
-	})
+		s.osNode = n
+
+		// Batched window stepping: the node runs its entire window
+		// sequence here, buffering a compact health record per window.
+		// Node simulations are mutually independent and independent of
+		// the cloud layer (the manager never feeds back into a node's
+		// ecosystem), so batching removes the per-window barrier — and
+		// its goroutine churn — without moving a single rng draw. The
+		// scenario interventions land immediately before the window they
+		// target: Perturb is pure in (i, w) and touches only node i's
+		// state.
+		s.health = make([]epochHealth, 0, cfg.Windows)
+		stepWindow := func(w int) bool {
+			if earlyExit && int64(w) >= failFloor.Load() {
+				return false
+			}
+			if cfg.Perturb != nil {
+				p := cfg.Perturb(i, w)
+				if p.Ambient != nil {
+					eco.SetAmbient(p.Ambient.CPUC, p.Ambient.DIMMC)
+				}
+				if p.Workload != nil {
+					dep.SetWorkload(*p.Workload)
+				}
+				if p.Mode != nil {
+					if err := dep.SwitchMode(p.Mode.Mode, p.Mode.RiskTarget); err != nil {
+						failNode(w, fmt.Errorf("fleet: node %d window %d mode switch: %w", i, w, err))
+						return false
+					}
+				}
+			}
+			rep, err := dep.Step()
+			if err != nil {
+				failNode(w, fmt.Errorf("fleet: node %d window %d: %w", i, w, err))
+				return false
+			}
+			fp, err := eco.PredictedFailProb()
+			if err != nil {
+				failNode(w, fmt.Errorf("fleet: node %d window %d: %w", i, w, err))
+				return false
+			}
+			s.health = append(s.health, epochHealth{
+				failProb:     fp,
+				correctable:  int32(rep.Correctable),
+				thermalAlarm: uint8(rep.ThermalAlarm),
+				crashed:      rep.Crashed,
+			})
+			return true
+		}
+		// The lifetime axis: each epoch batches its windows exactly as
+		// the single-epoch engine does; between epochs the node
+		// fast-forwards the gap and honours the re-characterization
+		// cadence. Gap failures are charged to the first window of the
+		// entered epoch — the earliest window the failure can shadow.
+		w := 0
+		epochs := 1
+		if cfg.Lifetime != nil {
+			epochs = cfg.Lifetime.Epochs()
+		}
+		for ei := 0; ei < epochs; ei++ {
+			if ei > 0 {
+				if earlyExit && int64(w) >= failFloor.Load() {
+					return
+				}
+				if err := dep.FastForward(cfg.Lifetime.Gaps[ei-1]); err != nil {
+					failNode(w, fmt.Errorf("fleet: node %d epoch %d gap: %w", i, ei, err))
+					return
+				}
+				if _, err := dep.MaybeRecharacterize(); err != nil {
+					failNode(w, fmt.Errorf("fleet: node %d epoch %d entry campaign: %w", i, ei, err))
+					return
+				}
+			}
+			epochWindows := cfg.Windows
+			if cfg.Lifetime != nil {
+				epochWindows = cfg.Lifetime.EpochWindows[ei]
+			}
+			for k := 0; k < epochWindows; k++ {
+				if !stepWindow(w) {
+					return
+				}
+				w++
+			}
+		}
+		if s.err == nil {
+			s.depSum = dep.Summary()
+		}
+	}
+
 	// flushHealthLog concatenates every node's JSON-lines log in node
 	// order. It also runs on error paths (best effort) so a failed run
 	// still leaves its diagnostics behind — the moment the log matters
@@ -553,11 +808,106 @@ func Run(cfg Config) (Summary, error) {
 		_ = flushHealthLog()
 		return Summary{}, err
 	}
-	if err := firstError(states); err != nil {
-		return fail(err)
+
+	// The node-level merge, shared by every shard: fold one node into
+	// the running aggregates in node order — each float accumulator
+	// sees its contributions in exactly the order the unsharded,
+	// non-streaming engine added them, which is what makes shard count
+	// and OnNode fingerprint-invariant on the aggregate lines.
+	sum := Summary{
+		Nodes:   cfg.Nodes,
+		Windows: cfg.Windows,
+		Workers: workers,
+		Shards:  shards,
+	}
+	if cfg.OnNode == nil {
+		sum.PerNode = make([]NodeSummary, 0, cfg.Nodes)
+	}
+	foldNode := func(s *nodeState) {
+		d := s.depSum
+		sum.Crashes += d.Crashes
+		sum.Fallbacks += d.Fallbacks
+		sum.Recharacterized += d.Recharacterized
+		sum.WindowsAtEOP += d.WindowsAtEOP
+		sum.CorrectableMasked += d.CorrectableMasked
+		sum.DRAMCorrected += d.DRAMCorrected
+		sum.EnergySavedWh += d.EnergySavedWh
+		sum.MeanCPUTempC += d.MeanCPUTempC
+		ns := NodeSummary{
+			Name:               s.name,
+			Model:              s.model,
+			Seed:               s.seed,
+			PredictorAcc:       s.pre.PredictorAcc,
+			Crashes:            d.Crashes,
+			Recharacterized:    d.Recharacterized,
+			WindowsAtEOP:       d.WindowsAtEOP,
+			CorrectableMasked:  d.CorrectableMasked,
+			DRAMCorrected:      d.DRAMCorrected,
+			MeanCPUTempC:       d.MeanCPUTempC,
+			EnergySavedWh:      d.EnergySavedWh,
+			FinalSafeVoltageMV: d.FinalSafeVoltageMV,
+			Epochs:             d.Epochs,
+		}
+		if len(d.Epochs) > 0 {
+			ns.FinalAgeShiftMV = d.FinalAgeShiftMV
+		}
+		// The fold is the last reader of the deployment summary and the
+		// characterization report: zero both so the only per-node state
+		// retained to the replay phase is the compact health buffer and
+		// the exported cloud-layer node. pre.Margins in particular keeps
+		// a node's whole EOP margin table alive — an O(nodes × cores)
+		// term that would dominate peak heap at 100k nodes.
+		s.depSum = core.DeploymentSummary{}
+		s.pre = core.PreDeploymentReport{}
+		if cfg.OnNode != nil {
+			cfg.OnNode(ns)
+			return
+		}
+		sum.PerNode = append(sum.PerNode, ns)
 	}
 
-	// Phase 2 — cluster assembly on the coordinator, in node order.
+	// Shards execute strictly in shard order, each fanning its node
+	// range across the worker pool; after a shard's join the
+	// coordinator folds its nodes in node order. A shard whose range
+	// (or any earlier shard) holds a failed node is left unfolded — the
+	// run is doomed and returns the earliest failure below — so OnNode
+	// consumers only ever see summaries from the error-free prefix.
+	failed := false
+	for sh := 0; sh < shards; sh++ {
+		lo, hi := shardRange(cfg.Nodes, shards, sh)
+		forEachNode(workers, hi-lo, func(k int) { runNode(lo + k) })
+		if failed {
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			if states[i].err != nil {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			foldNode(states[i])
+		}
+	}
+	if failed {
+		// Earliest failing window wins; ties resolve to the lowest node
+		// index (states are scanned in node order). Pre-deployment
+		// failures carry charactWindow and therefore outrank every
+		// stepping failure, exactly as when characterization was a
+		// separate phase.
+		failWindow, failErr := cfg.Windows, error(nil)
+		for _, s := range states {
+			if s.err != nil && s.errWindow < failWindow {
+				failWindow, failErr = s.errWindow, s.err
+			}
+		}
+		return fail(failErr)
+	}
+
+	// Cluster assembly on the coordinator, in node order.
 	osNodes := make([]*openstack.Node, len(states))
 	for i, s := range states {
 		osNodes[i] = s.osNode
@@ -579,163 +929,27 @@ func Run(cfg Config) (Summary, error) {
 		}
 	}
 
-	// Phase 3a — batched window stepping: each node runs its entire
-	// window sequence in one worker task, buffering a compact health
-	// record per window. Node simulations are mutually independent and
-	// independent of the cloud layer (the manager never feeds back into
-	// a node's ecosystem), so batching removes the per-window barrier —
-	// and its goroutine churn — without moving a single rng draw. The
-	// scenario interventions still land on the node's own worker
-	// immediately before the window they target: Perturb is pure in
-	// (i, w) and touches only node i's state.
-	for _, s := range states {
-		s.health = make([]epochHealth, 0, cfg.Windows)
-		s.errWindow = cfg.Windows
-	}
-	// failFloor is the earliest failing window any node has reported:
-	// once a run is doomed, healthy nodes stop at that window instead
-	// of simulating out their full horizon (their buffered health
-	// always covers [0, floor), which is all the replay can consume
-	// before it aborts). Purely an early-exit; results on the success
-	// path are untouched. When a health log was requested the early
-	// exit is disabled: where a healthy node happens to observe the
-	// floor depends on goroutine scheduling, and a log truncated at a
-	// scheduling-dependent window would break the contract that the
-	// flushed log is byte-identical across runs — on the error path,
-	// exactly where the diagnostics matter most.
-	earlyExit := cfg.HealthLogOut == nil
-	var failFloor atomic.Int64
-	failFloor.Store(int64(cfg.Windows))
-	reportFail := func(w int) {
-		for {
-			cur := failFloor.Load()
-			if int64(w) >= cur || failFloor.CompareAndSwap(cur, int64(w)) {
-				return
-			}
-		}
-	}
-	forEachNode(workers, len(states), func(i int) {
-		s := states[i]
-		// stepWindow advances one runtime window at global index w,
-		// returning false when the node failed (or the run is doomed
-		// and this node may stop early).
-		stepWindow := func(w int) bool {
-			if earlyExit && int64(w) >= failFloor.Load() {
-				return false
-			}
-			if cfg.Perturb != nil {
-				p := cfg.Perturb(i, w)
-				if p.Ambient != nil {
-					s.eco.SetAmbient(p.Ambient.CPUC, p.Ambient.DIMMC)
-				}
-				if p.Workload != nil {
-					s.dep.SetWorkload(*p.Workload)
-				}
-				if p.Mode != nil {
-					if err := s.dep.SwitchMode(p.Mode.Mode, p.Mode.RiskTarget); err != nil {
-						s.err = fmt.Errorf("fleet: node %d window %d mode switch: %w", i, w, err)
-						s.errWindow = w
-						reportFail(w)
-						return false
-					}
-				}
-			}
-			rep, err := s.dep.Step()
-			if err != nil {
-				s.err = fmt.Errorf("fleet: node %d window %d: %w", i, w, err)
-				s.errWindow = w
-				reportFail(w)
-				return false
-			}
-			fp, err := s.eco.PredictedFailProb()
-			if err != nil {
-				s.err = fmt.Errorf("fleet: node %d window %d: %w", i, w, err)
-				s.errWindow = w
-				reportFail(w)
-				return false
-			}
-			s.health = append(s.health, epochHealth{
-				failProb:     fp,
-				correctable:  rep.Correctable,
-				thermalAlarm: rep.ThermalAlarm,
-				crashed:      rep.Crashed,
-			})
-			return true
-		}
-		// The lifetime axis: each epoch batches its windows exactly as
-		// the single-epoch engine did; between epochs the node
-		// fast-forwards the gap and honours the re-characterization
-		// cadence. Gap failures are charged to the first window of the
-		// entered epoch — the earliest window the failure can shadow.
-		w := 0
-		epochs := 1
-		if cfg.Lifetime != nil {
-			epochs = cfg.Lifetime.Epochs()
-		}
-		for ei := 0; ei < epochs; ei++ {
-			if ei > 0 {
-				if earlyExit && int64(w) >= failFloor.Load() {
-					return
-				}
-				if err := s.dep.FastForward(cfg.Lifetime.Gaps[ei-1]); err != nil {
-					s.err = fmt.Errorf("fleet: node %d epoch %d gap: %w", i, ei, err)
-					s.errWindow = w
-					reportFail(w)
-					return
-				}
-				if _, err := s.dep.MaybeRecharacterize(); err != nil {
-					s.err = fmt.Errorf("fleet: node %d epoch %d entry campaign: %w", i, ei, err)
-					s.errWindow = w
-					reportFail(w)
-					return
-				}
-			}
-			epochWindows := cfg.Windows
-			if cfg.Lifetime != nil {
-				epochWindows = cfg.Lifetime.EpochWindows[ei]
-			}
-			for k := 0; k < epochWindows; k++ {
-				if !stepWindow(w) {
-					return
-				}
-				w++
-			}
-		}
-	})
-	// A node failure aborts the run at its window, exactly as the
-	// barrier engine did: earliest failing window wins, ties resolve to
-	// the lowest node index (states are scanned in node order).
-	failWindow, failErr := cfg.Windows, error(nil)
-	for _, s := range states {
-		if s.err != nil && s.errWindow < failWindow {
-			failWindow, failErr = s.errWindow, s.err
-		}
-	}
-
-	// Phase 3b — the coordinator replays the cloud layer in window
-	// order over the buffered health: arrivals and departures resolve
-	// before each epoch (so newly placed VMs are exposed to that
-	// window's crash/migration outcome, as in the stream simulator),
-	// then the epoch's health lands in the scheduler in node order.
-	// The manager sees byte-identical inputs in the identical order as
-	// under per-window barriers.
+	// The coordinator replays the cloud layer in window order over the
+	// buffered health: arrivals and departures resolve before each
+	// epoch (so newly placed VMs are exposed to that window's
+	// crash/migration outcome, as in the stream simulator), then the
+	// epoch's health lands in the scheduler in node order. The manager
+	// sees byte-identical inputs in the identical order as under
+	// per-window barriers — and as at any other shard count.
 	cursor := openstack.NewStreamCursor(arrivals)
 	evictedVMs := 0
 	health := make([]openstack.NodeHealth, len(states))
 	for w := 0; w < cfg.Windows; w++ {
 		now := time.Duration(w) * time.Minute
 		cursor.Advance(mgr, now)
-		if w == failWindow {
-			return fail(failErr)
-		}
 		for i, s := range states {
 			h := s.health[w]
 			health[i] = openstack.NodeHealth{
 				Name:         s.name,
 				FailProb:     h.failProb,
 				Crashed:      h.crashed,
-				Correctable:  h.correctable,
-				ThermalAlarm: h.thermalAlarm,
+				Correctable:  int(h.correctable),
+				ThermalAlarm: int(h.thermalAlarm),
 			}
 		}
 		stats, err := mgr.StepFleet(health, time.Minute, now, cfg.Repair)
@@ -745,48 +959,7 @@ func Run(cfg Config) (Summary, error) {
 		evictedVMs += stats.EvictedVMs
 	}
 
-	// Phase 4 — merge, in node order.
-	sum := Summary{
-		Nodes:   cfg.Nodes,
-		Windows: cfg.Windows,
-		Workers: workers,
-		PerNode: make([]NodeSummary, 0, len(states)),
-	}
-	for _, s := range states {
-		d := s.dep.Summary()
-		sum.Crashes += d.Crashes
-		sum.Fallbacks += d.Fallbacks
-		sum.Recharacterized += d.Recharacterized
-		sum.WindowsAtEOP += d.WindowsAtEOP
-		sum.CorrectableMasked += d.CorrectableMasked
-		sum.DRAMCorrected += d.DRAMCorrected
-		sum.EnergySavedWh += d.EnergySavedWh
-		ns := NodeSummary{
-			Name:               s.name,
-			Model:              s.model,
-			Seed:               s.seed,
-			PredictorAcc:       s.pre.PredictorAcc,
-			Crashes:            d.Crashes,
-			Recharacterized:    d.Recharacterized,
-			WindowsAtEOP:       d.WindowsAtEOP,
-			CorrectableMasked:  d.CorrectableMasked,
-			DRAMCorrected:      d.DRAMCorrected,
-			MeanCPUTempC:       d.MeanCPUTempC,
-			EnergySavedWh:      d.EnergySavedWh,
-			FinalSafeVoltageMV: d.FinalSafeVoltageMV,
-			Epochs:             d.Epochs,
-		}
-		if len(d.Epochs) > 0 {
-			ns.FinalAgeShiftMV = d.FinalAgeShiftMV
-		}
-		sum.PerNode = append(sum.PerNode, ns)
-	}
-	if len(sum.PerNode) > 0 {
-		for _, n := range sum.PerNode {
-			sum.MeanCPUTempC += n.MeanCPUTempC
-		}
-		sum.MeanCPUTempC /= float64(len(sum.PerNode))
-	}
+	sum.MeanCPUTempC /= float64(cfg.Nodes)
 	sum.Scheduled = mgr.Scheduled
 	sum.Rejected = mgr.Rejected
 	sum.Migrations = mgr.Migrations
@@ -812,6 +985,9 @@ func forEachNode(workers, n int, fn func(i int)) {
 		}
 		return
 	}
+	if workers > n {
+		workers = n
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -828,15 +1004,4 @@ func forEachNode(workers, n int, fn func(i int)) {
 	}
 	close(jobs)
 	wg.Wait()
-}
-
-// firstError returns the lowest-index node error, so failures are as
-// deterministic as successes.
-func firstError(states []*nodeState) error {
-	for _, s := range states {
-		if s.err != nil {
-			return s.err
-		}
-	}
-	return nil
 }

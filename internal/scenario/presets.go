@@ -124,6 +124,28 @@ func AgingYear() Scenario {
 	return s
 }
 
+// Fleet100k is the population-scale preset the scale-out engine
+// exists for: a hundred thousand nodes drawn from the two Table 2
+// silicon bins under archetype-clone characterization — two
+// characterization campaigns serve the whole population — executed in
+// eight shards with memory bounded by workers × ecosystem-size. The
+// VM stream is explicitly small: the scheduler's placement scan is
+// O(nodes) per VM, so at population scale VM count, not node count,
+// is the cloud layer's cost driver. Scaled down by the smoke grid it
+// doubles as the shard/archetype determinism specimen.
+func Fleet100k() Scenario {
+	s := Baseline()
+	s.Name = "fleet-100k"
+	s.Description = "population scale: 100k nodes, 2 archetype bins, 8 shards, bounded memory"
+	s.Nodes = 100_000
+	s.Windows = 30
+	s.VMs = 2000
+	s.Bins = []string{"i5-4200U", "i7-3970X"}
+	s.Archetypes = true
+	s.Shards = 8
+	return s
+}
+
 // recharactCadence builds one leg of the cadence-comparison family:
 // identical seven-epoch lifetimes (30-day gaps, ~6 months of aging)
 // that differ only in the scheduled re-characterization cadence, so a
@@ -164,6 +186,7 @@ func Presets() []Scenario {
 		ModeChurn(),
 		DroopAttack(),
 		AgingYear(),
+		Fleet100k(),
 	}
 	out = append(out, RecharactCadences()...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

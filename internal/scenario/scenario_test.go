@@ -48,6 +48,13 @@ var goldenPresetSHA = map[string]string{
 	"recharact-1mo": "ea97ed824196703113fcfa387e648416c106c9e062acbdb00d56afc15762955a",
 	"recharact-3mo": "2a7b737e80d6ea8d3eb225289d5b813e7ecf6b27b9b89ad303db31308f428c5c",
 	"recharact-6mo": "ba7a6bbb807c510bf137d46be93eafaeda2e3c9793ba158b9fb486510a95ac59",
+	// Population-scale preset, recorded when the sharded scale-out
+	// engine landed (every SHA above was untouched by it — sharding and
+	// the fused per-node lifecycle reproduce the node-order merge byte
+	// for byte). Archetype-clone characterization makes this one a
+	// different experiment than a per-node-characterized fleet would
+	// be, hence its own golden.
+	"fleet-100k": "df20689c5310417805c44b08dbed9839027356908485d0934cc0dbc9367101e3",
 }
 
 // TestPresetDeterminismAcrossWorkerCounts is the scenario layer's
@@ -87,6 +94,59 @@ func TestPresetDeterminismAcrossWorkerCounts(t *testing.T) {
 				if res.Fingerprint != want {
 					t.Fatalf("fingerprint diverged at workers=%d:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
 						workers, want, workers, res.Fingerprint)
+				}
+			}
+		})
+	}
+}
+
+// TestShardInvariance is the scale-out engine's golden contract:
+// shard count, like worker count, never changes results. Every
+// (shards, workers) cell of a representative preset slice — the plain
+// homogeneous fleet, the heterogeneous-bin fleet, the lifetime
+// scenario, and the archetype-clone population preset (whose pinned
+// shard count the cells deliberately override) — must reproduce the
+// recorded preset golden byte for byte. Run with -race: the shard
+// loop's worker pools are exactly where an ordering bug would race.
+func TestShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	for _, name := range []string{"baseline", "hetero-bins", "aging-year", "fleet-100k"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			preset, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := preset.Scale(testNodes, testWindows)
+			var want string
+			for _, shards := range []int{1, 2, 8} {
+				for _, workers := range []int{1, 4, 8} {
+					cell := s
+					cell.Shards = shards
+					res, err := RunScenario(cell, 11, workers)
+					if err != nil {
+						t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+					}
+					if want == "" {
+						want = res.Fingerprint
+						golden := goldenPresetSHA[s.Name]
+						switch {
+						case !goldenPlatform():
+							t.Logf("skipping golden comparison on %s/%s (recorded on linux/amd64)",
+								runtime.GOOS, runtime.GOARCH)
+						case res.FingerprintSHA256 != golden:
+							t.Errorf("fingerprint diverged from the recorded golden:\n got %s\nwant %s",
+								res.FingerprintSHA256, golden)
+						}
+						continue
+					}
+					if res.Fingerprint != want {
+						t.Fatalf("fingerprint diverged at shards=%d workers=%d:\n--- first cell ---\n%s--- this cell ---\n%s",
+							shards, workers, want, res.Fingerprint)
+					}
 				}
 			}
 		})
