@@ -16,23 +16,41 @@
 // per-scenario metrics and (with -report) a machine-readable JSON
 // report. Scenario runs print a fingerprint hash: same preset, same
 // seed — same hash, at any worker count.
+//
+// Two subcommands wrap the campaign layer in a persistent service:
+// `uniserver serve` runs the HTTP campaign service (submissions stream
+// NDJSON, every completed cell persists into a content-addressed
+// result store, killed servers resume incomplete runs on restart), and
+// `uniserver diff` compares two stored runs scenario by scenario. The
+// flag-based campaign mode gains -result-store, which runs the same
+// engine one-shot: interrupted campaigns leave a resumable store
+// behind, and rerunning the command serves completed cells from it.
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"uniserver/internal/campaignd"
 	"uniserver/internal/core"
 	"uniserver/internal/dram"
 	"uniserver/internal/fleet"
+	"uniserver/internal/resultstore"
 	"uniserver/internal/scenario"
 	"uniserver/internal/vfr"
 	"uniserver/internal/workload"
@@ -41,6 +59,20 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("uniserver: ")
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			if err := runServe(os.Args[2:]); err != nil {
+				log.Fatal(err)
+			}
+			return
+		case "diff":
+			if err := runDiff(os.Args[2:], os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+	}
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -75,6 +107,8 @@ func run() error {
 	charactDir := flag.String("charact-dir", "",
 		"campaign: spill characterization snapshots to this versioned cache dir so separate runs (CLI, CI) share them across processes; refuses a dir written by a different snapshot-format version")
 	reportPath := flag.String("report", "", "campaign: write the machine-readable JSON report to this file")
+	resultStore := flag.String("result-store", "",
+		"campaign: persist every completed cell into this content-addressed result store; interrupted runs resume from it (rerun the same command), identical cells are served without re-executing, and stored runs feed 'uniserver diff'")
 	lifetimeSpec := flag.String("lifetime", "",
 		"run a multi-epoch lifetime 'EPOCHSxGAPDAYS' (e.g. 4x90): each epoch simulates -windows windows, gaps fast-forward aging between them")
 	gapDuty := flag.Float64("gap-duty", 0.6,
@@ -169,6 +203,15 @@ func run() error {
 	if *charactDir != "" && !*shareCharact {
 		return fmt.Errorf("-charact-dir needs -share-charact=true (the dir spills the shared snapshot cache)")
 	}
+	if *resultStore != "" && *campaignSpec == "" {
+		return fmt.Errorf("-result-store only applies to -campaign")
+	}
+	if *resultStore != "" && *charactDir != "" {
+		return fmt.Errorf("-result-store keeps characterization snapshots inside the store; -charact-dir does not apply")
+	}
+	if *resultStore != "" && !*shareCharact {
+		return fmt.Errorf("-result-store needs -share-charact=true (resume shares snapshots through the store)")
+	}
 	if (set["recharact-every"] || set["gap-duty"]) && *lifetimeSpec == "" {
 		return fmt.Errorf("-recharact-every and -gap-duty only apply with -lifetime")
 	}
@@ -225,7 +268,25 @@ func run() error {
 			return err
 		}
 	case *campaignSpec != "":
-		if err := runCampaign(*campaignSpec, nodesOverride, windowsOverride, *seed, *seedCount, *workers, *parallel, *shareCharact, *charactDir, *reportPath); err != nil {
+		// SIGINT/SIGTERM cancel the campaign at cell boundaries instead
+		// of killing the process mid-print: the partial fingerprint and
+		// store state are emitted, so interrupted runs are resumable.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err := runCampaignCLI(ctx, os.Stdout, campaignOpts{
+			spec:            *campaignSpec,
+			nodesOverride:   nodesOverride,
+			windowsOverride: windowsOverride,
+			seed:            *seed,
+			seedCount:       *seedCount,
+			workers:         *workers,
+			parallel:        *parallel,
+			shareCharact:    *shareCharact,
+			charactDir:      *charactDir,
+			reportPath:      *reportPath,
+			storeDir:        *resultStore,
+		})
+		if err != nil {
 			return err
 		}
 	case *nodes > 1:
@@ -357,83 +418,169 @@ func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, w
 	return nil
 }
 
-// runCampaign assembles the requested scenario×seed grid, fans it out
-// in parallel, and prints the comparative table.
-func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, seedCount, workers, parallel int, shareCharact bool, charactDir, reportPath string) error {
-	if seedCount <= 0 {
-		return fmt.Errorf("-seeds must be positive")
+// campaignOpts bundles the -campaign flag set for runCampaignCLI.
+type campaignOpts struct {
+	spec                           string
+	nodesOverride, windowsOverride int
+	seed                           uint64
+	seedCount                      int
+	workers, parallel              int
+	shareCharact                   bool
+	charactDir, reportPath         string
+	// storeDir, when set, routes the run through the campaignd engine
+	// against a persistent result store: cells persist as they finish,
+	// interruption leaves a resumable manifest, identical cells are
+	// served from the store.
+	storeDir string
+}
+
+// buildCampaign assembles the requested scenario×seed grid.
+func buildCampaign(o campaignOpts) (scenario.Campaign, error) {
+	if o.seedCount <= 0 {
+		return scenario.Campaign{}, fmt.Errorf("-seeds must be positive")
 	}
 	var camp scenario.Campaign
-	if spec == "smoke" {
-		camp = scenario.SmokeCampaign(nodesOverride)
-		if windowsOverride > 0 {
+	if o.spec == "smoke" {
+		camp = scenario.SmokeCampaign(o.nodesOverride)
+		if o.windowsOverride > 0 {
 			for i, s := range camp.Scenarios {
-				camp.Scenarios[i] = s.Scale(0, windowsOverride)
+				camp.Scenarios[i] = s.Scale(0, o.windowsOverride)
 			}
 		}
 	} else {
 		names := scenario.Names()
-		if spec != "all" {
-			names = strings.Split(spec, ",")
+		if o.spec != "all" {
+			names = strings.Split(o.spec, ",")
 		}
 		for _, name := range names {
 			s, err := scenario.ByName(strings.TrimSpace(name))
 			if err != nil {
-				return err
+				return scenario.Campaign{}, err
 			}
-			if nodesOverride > 0 || windowsOverride > 0 {
-				s = s.Scale(nodesOverride, windowsOverride)
+			if o.nodesOverride > 0 || o.windowsOverride > 0 {
+				s = s.Scale(o.nodesOverride, o.windowsOverride)
 			}
 			camp.Scenarios = append(camp.Scenarios, s)
 		}
 	}
 	camp.Seeds = nil // -seed/-seeds own the grid's seed axis, even for smoke
-	for i := 0; i < seedCount; i++ {
-		camp.Seeds = append(camp.Seeds, seed+uint64(i))
+	for i := 0; i < o.seedCount; i++ {
+		camp.Seeds = append(camp.Seeds, o.seed+uint64(i))
 	}
-	camp.FleetWorkers = workers
-	camp.Parallel = parallel
-	camp.DisableCharactShare = !shareCharact
-	camp.CharactDir = charactDir
+	camp.FleetWorkers = o.workers
+	camp.Parallel = o.parallel
+	camp.DisableCharactShare = !o.shareCharact
+	camp.CharactDir = o.charactDir
+	return camp, nil
+}
 
-	fmt.Printf("== campaign: %d scenarios x %d seeds (%d cells, %d-way parallel, charact sharing %s) ==\n",
-		len(camp.Scenarios), len(camp.Seeds), len(camp.Scenarios)*len(camp.Seeds), camp.EffectiveParallel(),
-		map[bool]string{true: "on", false: "off"}[shareCharact])
-	start := time.Now()
-	rep, err := scenario.RunCampaign(camp)
+// runCampaignCLI runs the campaign and prints the comparative table.
+// Cancellation (SIGINT/SIGTERM via ctx) lands at cell boundaries: the
+// partial table, the partial campaign fingerprint, and — with a store
+// attached — the store's state are emitted before the error returns,
+// so an interrupted run is a resumable artifact, not a lost one.
+func runCampaignCLI(ctx context.Context, out io.Writer, o campaignOpts) error {
+	camp, err := buildCampaign(o)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %5s %7s %9s %8s %7s %6s %5s %6s %5s %6s %10s  %s\n",
+	camp.Context = ctx
+
+	fmt.Fprintf(out, "== campaign: %d scenarios x %d seeds (%d cells, %d-way parallel, charact sharing %s) ==\n",
+		len(camp.Scenarios), len(camp.Seeds), len(camp.Scenarios)*len(camp.Seeds), camp.EffectiveParallel(),
+		map[bool]string{true: "on", false: "off"}[o.shareCharact])
+	start := time.Now()
+
+	var rep scenario.Report
+	var st *resultstore.Store
+	var runID string
+	if o.storeDir != "" {
+		st, err = resultstore.Open(o.storeDir)
+		if err != nil {
+			return err
+		}
+		srv := campaignd.New(campaignd.Options{Store: st, Pool: camp.EffectiveParallel(), FleetWorkers: o.workers})
+		defer srv.Close()
+		if ctx.Err() != nil {
+			// Already canceled before launch (or a signal raced us):
+			// shut the engine down synchronously so every cell lands
+			// canceled instead of racing the watcher goroutine.
+			srv.Shutdown()
+		}
+		watch := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				srv.Shutdown()
+			case <-watch:
+			}
+		}()
+		defer close(watch)
+		runID, rep, err = srv.Submit(camp.Scenarios, camp.Seeds, o.workers, o.parallel, nil)
+	} else {
+		rep, err = scenario.RunCampaign(camp)
+	}
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		return err
+	}
+
+	fmt.Fprintf(out, "%-16s %5s %7s %9s %8s %7s %6s %5s %6s %5s %6s %10s  %s\n",
 		"SCENARIO", "RUNS", "AVAIL", "KWH", "SAVED_WH", "TEMP_C", "CRASH", "MIGR", "SLA", "RECH", "AGE_MV", "SCHED/REJ", "FINGERPRINT")
 	for _, sr := range rep.Scenarios {
-		fmt.Printf("%-16s %5d %7.4f %9.3f %8.2f %7.1f %6d %5d %6d %5d %6.1f %6d/%-3d  %.12s\n",
+		fmt.Fprintf(out, "%-16s %5d %7.4f %9.3f %8.2f %7.1f %6d %5d %6d %5d %6.1f %6d/%-3d  %.12s\n",
 			sr.Scenario, sr.Runs, sr.MeanAvailability, sr.EnergyKWh, sr.EnergySavedWh,
 			sr.MeanCPUTempC, sr.Crashes, sr.Migrations, sr.SLAViolations, sr.Recharacterized,
 			sr.MeanFinalAgeShiftMV, sr.Scheduled, sr.Rejected, sr.FingerprintSHA256)
 	}
-	fmt.Printf("\ncampaign fingerprint sha256:%s  (%v wall-clock)\n",
-		rep.FingerprintSHA256, time.Since(start).Round(time.Millisecond))
-	if shareCharact {
+	if interrupted {
+		total := len(camp.Scenarios) * len(camp.Seeds)
+		fmt.Fprintf(out, "\nINTERRUPTED: %d of %d cells complete (%d canceled at cell boundaries; completed cells are whole)\n",
+			total-rep.CanceledCells, total, rep.CanceledCells)
+		fmt.Fprintf(out, "partial campaign fingerprint sha256:%s\n", rep.FingerprintSHA256)
+	} else {
+		fmt.Fprintf(out, "\ncampaign fingerprint sha256:%s  (%v wall-clock)\n",
+			rep.FingerprintSHA256, time.Since(start).Round(time.Millisecond))
+	}
+	if o.shareCharact {
 		hits, misses := rep.CharactCacheHits, rep.CharactCacheMisses
 		reuse := 1.0
 		if work := misses + rep.CharactDiskHits; work > 0 {
 			reuse = float64(hits+work) / float64(work)
 		}
-		fmt.Printf("snapshot cache: %d hits / %d misses across %d-way parallel cells (%.1fx characterization reuse)\n",
+		fmt.Fprintf(out, "snapshot cache: %d hits / %d misses across %d-way parallel cells (%.1fx characterization reuse)\n",
 			hits, misses, rep.EffectiveParallel, reuse)
-		if charactDir != "" {
-			fmt.Printf("snapshot cache dir %s: %d entries served from disk (characterizations shared across processes)\n",
-				charactDir, rep.CharactDiskHits)
+		if o.charactDir != "" {
+			fmt.Fprintf(out, "snapshot cache dir %s: %d entries served from disk (characterizations shared across processes)\n",
+				o.charactDir, rep.CharactDiskHits)
 			if rep.CharactDiskErr != "" {
-				fmt.Printf("WARNING: snapshot cache dir is not accumulating: %s\n", rep.CharactDiskErr)
+				fmt.Fprintf(out, "WARNING: snapshot cache dir is not accumulating: %s\n", rep.CharactDiskErr)
 			}
 		}
 	} else {
-		fmt.Printf("snapshot cache: disabled (-share-charact=false); every cell characterized its own nodes\n")
+		fmt.Fprintf(out, "snapshot cache: disabled (-share-charact=false); every cell characterized its own nodes\n")
 	}
-	if reportPath != "" {
-		f, err := os.Create(reportPath)
+	if st != nil {
+		stats := st.Stats()
+		cells, cerr := st.CellCount()
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(out, "result store %s: %d cells on disk (this run: %d served from store, %d executed, %d quarantined)\n",
+			o.storeDir, cells, stats.Hits, stats.Puts, stats.Quarantined)
+		if interrupted {
+			fmt.Fprintf(out, "resume: rerun the same command; run %s stays 'running' in the store and completed cells will not re-execute\n", runID)
+		} else {
+			fmt.Fprintf(out, "run %s complete in store (compare stored runs: uniserver diff -store %s RUN_A RUN_B)\n", runID, o.storeDir)
+		}
+	} else if interrupted {
+		fmt.Fprintf(out, "note: without -result-store the completed cells are not persisted; rerunning restarts from scratch\n")
+	}
+	if interrupted {
+		return err
+	}
+	if o.reportPath != "" {
+		f, err := os.Create(o.reportPath)
 		if err != nil {
 			return fmt.Errorf("report file: %w", err)
 		}
@@ -444,7 +591,118 @@ func runCampaign(spec string, nodesOverride, windowsOverride int, seed uint64, s
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("closing report: %w", err)
 		}
-		fmt.Printf("report written to %s\n", reportPath)
+		fmt.Fprintf(out, "report written to %s\n", o.reportPath)
+	}
+	return nil
+}
+
+// runServe starts the HTTP campaign service: a campaignd.Server over a
+// persistent result store, resuming any runs a previous life left
+// incomplete. SIGINT/SIGTERM stop it cleanly at cell boundaries —
+// interrupted runs resume on the next start.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	storeDir := fs.String("store", "", "persistent result store directory (required; created and version-stamped on first use)")
+	pool := fs.Int("pool", 0, "concurrent campaign cells across all submissions (0 = GOMAXPROCS)")
+	fleetWorkers := fs.Int("workers", 0, "default per-cell fleet worker goroutines for submissions that set none (0 = 1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("serve: -store is required (the persistent result store)")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	st, err := resultstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	srv := campaignd.New(campaignd.Options{Store: st, Pool: *pool, FleetWorkers: *fleetWorkers})
+	resumed, err := srv.ResumeIncomplete()
+	if err != nil {
+		return err
+	}
+	if resumed > 0 {
+		fmt.Printf("resuming %d incomplete run(s) from %s (completed cells served from the store)\n", resumed, *storeDir)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		// Stop the engine first: campaigns halt at cell boundaries and
+		// their NDJSON streams finish, then the listener drains.
+		srv.Shutdown()
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(sctx)
+	}()
+	fmt.Printf("uniserver campaign service listening on %s (store %s, pool %d)\n", *addr, *storeDir, *pool)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	srv.Close()
+	fmt.Println("serve: shut down; incomplete runs resume on next start")
+	return nil
+}
+
+// runDiff compares two stored runs and prints the per-scenario report:
+// availability and energy deltas, fingerprint match/mismatch, and
+// regression flags.
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "result store directory holding both runs (required)")
+	jsonPath := fs.String("json", "", "also write the machine-readable diff report to this file")
+	failOnRegression := fs.Bool("fail-on-regression", false, "exit non-zero when run B regresses run A (availability, energy, new failures, missing scenarios)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("diff: -store is required")
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants two run IDs: uniserver diff -store DIR RUN_A RUN_B (IDs are printed by -campaign -result-store and listed at /api/v1/runs)")
+	}
+	st, err := resultstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	a, ok := st.GetRun(fs.Arg(0))
+	if !ok {
+		return fmt.Errorf("diff: no run %q in %s", fs.Arg(0), *storeDir)
+	}
+	b, ok := st.GetRun(fs.Arg(1))
+	if !ok {
+		return fmt.Errorf("diff: no run %q in %s", fs.Arg(1), *storeDir)
+	}
+	d, err := resultstore.DiffRuns(a, b, resultstore.DiffOptions{})
+	if err != nil {
+		return err
+	}
+	if err := d.WriteText(out); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return fmt.Errorf("diff report file: %w", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			f.Close()
+			return fmt.Errorf("writing diff report: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing diff report: %w", err)
+		}
+		fmt.Fprintf(out, "diff report written to %s\n", *jsonPath)
+	}
+	if *failOnRegression && len(d.Regressions) > 0 {
+		return fmt.Errorf("diff: %d regression(s): %s", len(d.Regressions), strings.Join(d.Regressions, "; "))
 	}
 	return nil
 }

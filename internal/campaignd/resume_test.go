@@ -1,0 +1,149 @@
+package campaignd
+
+import (
+	"testing"
+	"time"
+
+	"uniserver/internal/resultstore"
+	"uniserver/internal/scenario"
+)
+
+// TestCrashResumeDeterminism is the satellite the result store exists
+// for: a server hard-stopped mid-campaign (after at least one cell has
+// persisted) must, on restart against the same store directory, finish
+// the run with per-cell fingerprints byte-identical to an
+// uninterrupted run — and must NOT re-execute the cells that already
+// persisted (the store's hit counters prove it).
+func TestCrashResumeDeterminism(t *testing.T) {
+	ref := referenceReport(t)
+	scens, seeds := testGrid()
+	dir := t.TempDir()
+
+	// --- First life: run with a one-slot pool and Parallel=1 so cells
+	// complete strictly in grid order, and kill the server the moment
+	// cell 0 lands.
+	st1, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatalf("Open store: %v", err)
+	}
+	srv1 := New(Options{Store: st1, Pool: 1})
+	srv1.testCellDone = func(runID string, gi int, res scenario.Result) {
+		// The "crash": cancel the server's context at a cell boundary.
+		// The cell is already persisted (testCellDone fires after the
+		// put), so this models SIGKILL-after-fsync — the strongest state
+		// a real crash can leave behind.
+		srv1.cancel()
+	}
+	p1, err := srv1.plan(scens, seeds, 0, 1)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	_, err = srv1.launch(p1, nil)
+	if err == nil {
+		t.Fatalf("interrupted campaign reported success")
+	}
+	srv1.Close()
+
+	persisted, err := st1.CellCount()
+	if err != nil {
+		t.Fatalf("CellCount: %v", err)
+	}
+	if persisted != 1 {
+		t.Fatalf("%d cells persisted before the crash, want exactly 1 (Parallel=1, pool=1, killed after cell 0)", persisted)
+	}
+	m, ok := st1.GetRun(p1.runID)
+	if !ok || m.Status != resultstore.RunRunning {
+		t.Fatalf("post-crash manifest = %+v (ok=%v), want status running — the resume signal", m, ok)
+	}
+
+	// --- Second life: a fresh Server over the same directory, as after
+	// a process restart. ResumeIncomplete must find the running manifest
+	// and finish the run in the background.
+	st2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatalf("re-Open store: %v", err)
+	}
+	srv2 := New(Options{Store: st2, Pool: 1})
+	n, err := srv2.ResumeIncomplete()
+	if err != nil {
+		t.Fatalf("ResumeIncomplete: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("ResumeIncomplete relaunched %d runs, want 1", n)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	var final resultstore.RunManifest
+	for {
+		if m, ok := st2.GetRun(p1.runID); ok && m.Status != resultstore.RunRunning {
+			final = m
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed run did not complete in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	srv2.Close()
+
+	if final.Status != resultstore.RunComplete {
+		t.Fatalf("resumed run finished %q (%s), want complete", final.Status, final.Error)
+	}
+	// The resumed campaign's fingerprint is byte-identical to the
+	// uninterrupted direct run — stored cell plus re-executed cells
+	// compose to the same bytes.
+	if final.FingerprintSHA256 != ref.FingerprintSHA256 {
+		t.Errorf("resumed campaign fingerprint diverged from the uninterrupted run:\n got %s\nwant %s",
+			final.FingerprintSHA256, ref.FingerprintSHA256)
+	}
+	// Exactly the pre-crash cell was served from the store; the rest
+	// executed. Hits are process-local to the second life, so one hit ==
+	// one cell NOT re-executed.
+	if final.CachedCells != 1 {
+		t.Errorf("resumed run served %d cells from the store, want 1", final.CachedCells)
+	}
+	stats := st2.Stats()
+	if stats.Hits != 1 {
+		t.Errorf("store hits after resume = %d, want 1 (completed cells must not re-execute)", stats.Hits)
+	}
+	if stats.Puts != uint64(len(p1.cellKeys)-1) {
+		t.Errorf("store puts after resume = %d, want %d (only the missing cells ran)", stats.Puts, len(p1.cellKeys)-1)
+	}
+	// Per-cell fingerprints, stored vs reference, byte for byte.
+	for i, key := range p1.cellKeys {
+		rec, ok := st2.GetCell(key)
+		if !ok {
+			t.Fatalf("cell %d missing after resume", i)
+		}
+		if rec.Fingerprint != ref.Results[i].Fingerprint {
+			t.Errorf("cell %d fingerprint diverged after resume (scenario %s seed %d)",
+				i, rec.Scenario, rec.Seed)
+		}
+	}
+
+	// --- Third life: nothing to resume, everything cached. A fresh
+	// server finds no running manifests, and re-submitting the campaign
+	// touches no fleet at all.
+	st3, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatalf("re-Open store: %v", err)
+	}
+	srv3 := New(Options{Store: st3, Pool: 1})
+	defer srv3.Close()
+	if n, err := srv3.ResumeIncomplete(); err != nil || n != 0 {
+		t.Fatalf("third-life ResumeIncomplete = %d, %v; want 0 runs", n, err)
+	}
+	p3, err := srv3.plan(scens, seeds, 0, 1)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	rep, err := srv3.launch(p3, nil)
+	if err != nil {
+		t.Fatalf("fully-cached rerun: %v", err)
+	}
+	if rep.CachedCells != len(p1.cellKeys) {
+		t.Errorf("fully-cached rerun executed %d cells", len(p1.cellKeys)-rep.CachedCells)
+	}
+	if rep.FingerprintSHA256 != ref.FingerprintSHA256 {
+		t.Errorf("fully-cached rerun fingerprint diverged")
+	}
+}

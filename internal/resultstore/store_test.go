@@ -1,0 +1,309 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"uniserver/internal/scenario"
+)
+
+// testRecord builds a small, internally consistent cell record.
+func testRecord(t *testing.T) CellRecord {
+	t.Helper()
+	s := scenario.Baseline().Scale(2, 4)
+	key, canonical, err := CellKey(s, 7)
+	if err != nil {
+		t.Fatalf("CellKey: %v", err)
+	}
+	fp := "nodes=2 windows=4 crashes=0\nuniserver-00 seed=7\n"
+	return CellRecord{
+		Key:               key,
+		Scenario:          s.Name,
+		Seed:              7,
+		Request:           canonical,
+		Fingerprint:       fp,
+		FingerprintSHA256: sha256Hex(fp),
+	}
+}
+
+func TestCellRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec := testRecord(t)
+	if _, ok := st.GetCell(rec.Key); ok {
+		t.Fatalf("empty store served a cell")
+	}
+	if err := st.PutCell(rec); err != nil {
+		t.Fatalf("PutCell: %v", err)
+	}
+	got, ok := st.GetCell(rec.Key)
+	if !ok {
+		t.Fatalf("GetCell missed a stored key")
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, rec)
+	}
+	stats := st.Stats()
+	if stats.Hits != 1 || stats.Misses != 1 || stats.Puts != 1 || stats.Quarantined != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 put / 0 quarantined", stats)
+	}
+}
+
+// TestCellKeyCanonicalization pins what the content address does and
+// does not depend on: execution knobs that never change results
+// (Shards) are canonicalized out; everything result-bearing — the
+// seed, the declaration, the Archetypes experiment switch — splits
+// the key.
+func TestCellKeyCanonicalization(t *testing.T) {
+	base := scenario.Baseline().Scale(2, 4)
+	key0, _, err := CellKey(base, 7)
+	if err != nil {
+		t.Fatalf("CellKey: %v", err)
+	}
+
+	sharded := base
+	sharded.Shards = 4
+	if key, _, _ := CellKey(sharded, 7); key != key0 {
+		t.Errorf("shard count split the content address (shards never change results)")
+	}
+	if key, _, _ := CellKey(base, 8); key == key0 {
+		t.Errorf("seed did not split the content address")
+	}
+	arch := base
+	arch.Archetypes = true
+	if key, _, _ := CellKey(arch, 7); key == key0 {
+		t.Errorf("Archetypes did not split the content address (it is a different experiment)")
+	}
+	wider := base.Scale(3, 0)
+	if key, _, _ := CellKey(wider, 7); key == key0 {
+		t.Errorf("node count did not split the content address")
+	}
+}
+
+// TestTornFileRecovery: a truncated record — a torn write from a
+// crashed process — must be quarantined and reported as a miss, never
+// returned and never crashed on, and the slot must accept a fresh put.
+func TestTornFileRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec := testRecord(t)
+	if err := st.PutCell(rec); err != nil {
+		t.Fatalf("PutCell: %v", err)
+	}
+
+	// Tear the record: keep the first half of the bytes.
+	path := filepath.Join(dir, "cells", rec.Key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading record: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("tearing record: %v", err)
+	}
+
+	if _, ok := st.GetCell(rec.Key); ok {
+		t.Fatalf("torn record served as a hit")
+	}
+	if st.Stats().Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", st.Stats().Quarantined)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("torn record still in place after quarantine")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", rec.Key+".json")); err != nil {
+		t.Errorf("torn record not preserved in quarantine: %v", err)
+	}
+
+	// The slot must recover: re-put and re-read.
+	if err := st.PutCell(rec); err != nil {
+		t.Fatalf("re-put after quarantine: %v", err)
+	}
+	if got, ok := st.GetCell(rec.Key); !ok || got.Fingerprint != rec.Fingerprint {
+		t.Errorf("slot did not recover after quarantine")
+	}
+}
+
+// TestCorruptedFingerprintQuarantined: a record whose bytes parse but
+// whose fingerprint hash does not match its fingerprint — bit rot, or
+// a hand-edited file — fails integrity checking the same way.
+func TestCorruptedFingerprintQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec := testRecord(t)
+	if err := st.PutCell(rec); err != nil {
+		t.Fatalf("PutCell: %v", err)
+	}
+	path := filepath.Join(dir, "cells", rec.Key+".json")
+	data, _ := os.ReadFile(path)
+	tampered := strings.Replace(string(data), "crashes=0", "crashes=9", 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found in record")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatalf("tampering record: %v", err)
+	}
+	if _, ok := st.GetCell(rec.Key); ok {
+		t.Fatalf("tampered record served as a hit")
+	}
+	if st.Stats().Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", st.Stats().Quarantined)
+	}
+}
+
+// TestVersionMismatchRefusal mirrors the characterization cache's
+// contract (TestSnapshotDiskRoundTrip): a store directory stamped by
+// a different format version is refused at Open, loudly.
+func TestVersionMismatchRefusal(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil {
+		t.Fatalf("first Open: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte("999\n"), 0o644); err != nil {
+		t.Fatalf("restamping: %v", err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatalf("Open accepted a version-999 store")
+	} else if !strings.Contains(err.Error(), "version 999") {
+		t.Errorf("refusal does not name the offending version: %v", err)
+	}
+}
+
+func TestRunManifestRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s := scenario.Baseline().Scale(2, 4)
+	keyA, _, _ := CellKey(s, 1)
+	keyB, _, _ := CellKey(s, 2)
+	m := RunManifest{
+		ID:        RunID([]string{keyA, keyB}),
+		Status:    RunRunning,
+		Scenarios: []scenario.Scenario{s},
+		Seeds:     []uint64{1, 2},
+		CellKeys:  []string{keyA, keyB},
+	}
+	if err := st.PutRun(m); err != nil {
+		t.Fatalf("PutRun: %v", err)
+	}
+	got, ok := st.GetRun(m.ID)
+	if !ok {
+		t.Fatalf("GetRun missed a stored manifest")
+	}
+	if got.Status != RunRunning || len(got.CellKeys) != 2 || len(got.Scenarios) != 1 {
+		t.Errorf("manifest round trip diverged: %+v", got)
+	}
+	// The resolved scenario must survive the JSON round trip exactly —
+	// resume re-runs from these bytes.
+	if !reflect.DeepEqual(got.Scenarios[0], s) {
+		t.Errorf("scenario did not survive the manifest round trip:\n got %+v\nwant %+v", got.Scenarios[0], s)
+	}
+	runs, err := st.ListRuns()
+	if err != nil || len(runs) != 1 || runs[0].ID != m.ID {
+		t.Errorf("ListRuns = %v, %v; want the one manifest", runs, err)
+	}
+
+	// RunID is content-derived and order-sensitive.
+	if RunID([]string{keyA, keyB}) != m.ID {
+		t.Errorf("RunID not stable")
+	}
+	if RunID([]string{keyB, keyA}) == m.ID {
+		t.Errorf("RunID ignores grid order")
+	}
+}
+
+// TestDiffRuns exercises the comparison: identical runs match with no
+// regressions; a degraded run flags availability/energy regressions
+// and fingerprint changes.
+func TestDiffRuns(t *testing.T) {
+	repA := &scenario.Report{
+		FingerprintSHA256: "aaaa",
+		Scenarios: []scenario.ScenarioReport{
+			{Scenario: "baseline", MeanAvailability: 0.999, EnergyKWh: 10, FingerprintSHA256: "fa"},
+			{Scenario: "mode-churn", MeanAvailability: 0.99, EnergyKWh: 12, FingerprintSHA256: "fb"},
+		},
+	}
+	a := RunManifest{ID: "ra", Status: RunComplete, Report: repA}
+	same, err := DiffRuns(a, a, DiffOptions{})
+	if err != nil {
+		t.Fatalf("DiffRuns: %v", err)
+	}
+	if !same.Match || len(same.Regressions) != 0 {
+		t.Errorf("self-diff reported differences: %+v", same)
+	}
+
+	repB := &scenario.Report{
+		FingerprintSHA256: "bbbb",
+		Scenarios: []scenario.ScenarioReport{
+			{Scenario: "baseline", MeanAvailability: 0.99, EnergyKWh: 11, FingerprintSHA256: "fc"},
+			{Scenario: "mode-churn", MeanAvailability: 0.99, EnergyKWh: 12, FingerprintSHA256: "fb"},
+		},
+	}
+	b := RunManifest{ID: "rb", Status: RunComplete, Report: repB}
+	d, err := DiffRuns(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatalf("DiffRuns: %v", err)
+	}
+	if d.Match {
+		t.Errorf("diverged runs reported as matching")
+	}
+	var baseRow DiffRow
+	for _, r := range d.Rows {
+		if r.Scenario == "baseline" {
+			baseRow = r
+		}
+	}
+	wantFlags := []string{"fingerprint-changed", "availability-regression", "energy-regression"}
+	if !reflect.DeepEqual(baseRow.Flags, wantFlags) {
+		t.Errorf("baseline flags = %v, want %v", baseRow.Flags, wantFlags)
+	}
+	if len(d.Regressions) != 2 {
+		t.Errorf("regressions = %v, want availability + energy", d.Regressions)
+	}
+
+	// Runs without reports are refused.
+	if _, err := DiffRuns(RunManifest{ID: "rx", Status: RunRunning}, a, DiffOptions{}); err == nil {
+		t.Errorf("diff accepted a report-less run")
+	}
+}
+
+// TestManifestReportJSONStable guards the manifest's report embedding:
+// a round-tripped report keeps its fingerprint and row hashes (the
+// fields diff reads).
+func TestManifestReportJSONStable(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rep := &scenario.Report{
+		FingerprintSHA256: "cafe",
+		Scenarios: []scenario.ScenarioReport{
+			{Scenario: "baseline", MeanAvailability: 0.5, FingerprintSHA256: "f00d"},
+		},
+	}
+	m := RunManifest{ID: "rz", Status: RunComplete, FingerprintSHA256: "cafe", Report: rep}
+	if err := st.PutRun(m); err != nil {
+		t.Fatalf("PutRun: %v", err)
+	}
+	got, ok := st.GetRun("rz")
+	if !ok || got.Report == nil {
+		t.Fatalf("manifest with report did not round trip")
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(got.Report)
+	if string(a) != string(b) {
+		t.Errorf("embedded report changed across the round trip:\n got %s\nwant %s", b, a)
+	}
+}

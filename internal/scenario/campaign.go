@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -24,7 +25,16 @@ type Result struct {
 	FingerprintSHA256 string        `json:"fingerprint_sha256,omitempty"`
 	Summary           fleet.Summary `json:"summary"`
 	Err               string        `json:"error,omitempty"`
+	// Cached marks a cell served by Campaign.Lookup (typically a
+	// persistent result store) instead of executed: the fleet never
+	// ran, the bytes came from a prior identical run.
+	Cached bool `json:"cached,omitempty"`
 }
+
+// CellCanceled is the Result.Err of cells a canceled Campaign.Context
+// prevented from running. Canceled cells never executed — rerunning
+// the campaign (against the same result store) picks them up.
+const CellCanceled = "canceled"
 
 // ScenarioReport aggregates one scenario's row of the grid across all
 // seeds: the comparative metrics the campaign exists to surface, plus
@@ -91,6 +101,13 @@ type Report struct {
 	CharactCacheMisses uint64 `json:"charact_cache_misses"`
 	CharactDiskHits    uint64 `json:"charact_disk_hits,omitempty"`
 	CharactDiskErr     string `json:"charact_disk_err,omitempty"`
+
+	// CachedCells counts cells served by Campaign.Lookup (a result
+	// store) instead of executed; CanceledCells counts cells a
+	// canceled Campaign.Context prevented from running. Both zero on a
+	// plain uninterrupted in-process campaign.
+	CachedCells   int `json:"cached_cells,omitempty"`
+	CanceledCells int `json:"canceled_cells,omitempty"`
 }
 
 // WriteJSON renders the report, indented, to w.
@@ -167,6 +184,34 @@ type Campaign struct {
 	// processes, byte-identically. Attaching refuses a directory
 	// stamped by a different snapshot-format version.
 	CharactDir string
+
+	// Context, when non-nil, cancels the campaign at cell boundaries:
+	// in-flight cells run to completion (their results are whole and,
+	// with a store attached, persisted), unstarted cells are marked
+	// CellCanceled, and RunCampaign returns a partial Report together
+	// with an error wrapping context.Canceled. Nil means run to
+	// completion.
+	Context context.Context
+	// Lookup, when set, is consulted before a cell executes. Returning
+	// ok serves the cell from the returned Result (marked Cached)
+	// without running the fleet — how a persistent result store makes
+	// completed cells free on resume. It is called from worker
+	// goroutines and must be safe for concurrent use. The determinism
+	// contract makes this sound: a stored result for the same
+	// (scenario, seed) is byte-identical to what the run would produce.
+	Lookup func(s Scenario, seed uint64) (Result, bool)
+	// OnCell, when set, receives every executed or Lookup-served cell
+	// the moment it finishes — completion order, not grid order, and
+	// from worker goroutines, so it must be safe for concurrent use.
+	// Canceled cells are not reported. gridIndex is the cell's
+	// scenario-major, seed-minor grid position.
+	OnCell func(gridIndex int, res Result)
+	// Gate, when set, wraps each cell's execution (Lookup included) —
+	// the hook a long-running service uses to share one bounded worker
+	// pool across concurrent campaigns. A Gate that returns without
+	// invoking run (e.g. because the service is shutting down) marks
+	// the cell CellCanceled.
+	Gate func(run func())
 }
 
 // EffectiveParallel resolves the concurrent-cell count RunCampaign
@@ -251,6 +296,23 @@ func RunCampaign(c Campaign) (Report, error) {
 	// later ones. Each worker writes only the slots it claimed; results
 	// land in grid order whatever the completion order.
 	results := make([]Result, len(grid))
+	runCell := func(gi int) {
+		g := grid[gi]
+		s, seed := c.Scenarios[g.si], c.Seeds[g.ki]
+		if c.Lookup != nil {
+			if res, ok := c.Lookup(s, seed); ok {
+				res.Scenario, res.Seed = s.Name, seed
+				res.Cached = true
+				if res.FingerprintSHA256 == "" && res.Fingerprint != "" {
+					res.FingerprintSHA256 = sha256Hex(res.Fingerprint)
+				}
+				results[gi] = res
+				return
+			}
+		}
+		res, _ := runScenarioWith(s, seed, workers, cache)
+		results[gi] = res
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < parallel; p++ {
@@ -263,8 +325,25 @@ func RunCampaign(c Campaign) (Report, error) {
 					return
 				}
 				g := grid[gi]
-				res, _ := runScenarioWith(c.Scenarios[g.si], c.Seeds[g.ki], workers, cache)
-				results[gi] = res
+				// Cancellation lands at cell boundaries only: a claimed
+				// cell either runs whole or not at all, so every stored
+				// result is a complete, fingerprinted cell.
+				if c.Context != nil && c.Context.Err() != nil {
+					results[gi] = Result{Scenario: c.Scenarios[g.si].Name, Seed: c.Seeds[g.ki], Err: CellCanceled}
+					continue
+				}
+				if c.Gate != nil {
+					c.Gate(func() { runCell(gi) })
+				} else {
+					runCell(gi)
+				}
+				if results[gi].Scenario == "" && results[gi].Err == "" {
+					// The Gate declined to run the cell (shutdown race).
+					results[gi] = Result{Scenario: c.Scenarios[g.si].Name, Seed: c.Seeds[g.ki], Err: CellCanceled}
+				}
+				if c.OnCell != nil && results[gi].Err != CellCanceled {
+					c.OnCell(gi, results[gi])
+				}
 			}
 		}()
 	}
@@ -294,10 +373,20 @@ func RunCampaign(c Campaign) (Report, error) {
 			sr.Runs++
 			if res.Err != "" {
 				sr.Failed++
+				if res.Err == CellCanceled {
+					rep.CanceledCells++
+				}
 				if firstErr == nil {
-					firstErr = fmt.Errorf("scenario %s seed %d: %s", res.Scenario, res.Seed, res.Err)
+					if res.Err == CellCanceled {
+						firstErr = fmt.Errorf("scenario %s seed %d: %w", res.Scenario, res.Seed, context.Canceled)
+					} else {
+						firstErr = fmt.Errorf("scenario %s seed %d: %s", res.Scenario, res.Seed, res.Err)
+					}
 				}
 				continue
+			}
+			if res.Cached {
+				rep.CachedCells++
 			}
 			rowFPs += res.Fingerprint
 			sum := res.Summary

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// hookCampaign is the tiny grid the hook tests share: two scenarios,
+// two seeds, four cells, small enough that the full grid runs in well
+// under a second.
+func hookCampaign() Campaign {
+	base := Baseline().Scale(2, 6)
+	churn := ModeChurn().Scale(2, 6)
+	return Campaign{
+		Scenarios: []Scenario{base, churn},
+		Seeds:     []uint64{11, 12},
+		Parallel:  1,
+	}
+}
+
+// TestCampaignCancellationAtCellBoundaries: canceling the campaign
+// context after the first cell completes must leave that cell whole
+// (byte-identical to the uninterrupted run), mark every unstarted cell
+// CellCanceled, and surface context.Canceled from RunCampaign.
+func TestCampaignCancellationAtCellBoundaries(t *testing.T) {
+	full, err := RunCampaign(hookCampaign())
+	if err != nil {
+		t.Fatalf("uninterrupted campaign: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	camp := hookCampaign()
+	camp.Context = ctx
+	var cells atomic.Int64
+	camp.OnCell = func(gi int, res Result) {
+		if cells.Add(1) == 1 {
+			cancel() // hard stop after the first cell persists
+		}
+	}
+	rep, err := RunCampaign(camp)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign error = %v, want context.Canceled", err)
+	}
+	if rep.CanceledCells != 3 {
+		t.Fatalf("CanceledCells = %d, want 3 (Parallel=1, canceled after cell 0)", rep.CanceledCells)
+	}
+	if got, want := rep.Results[0].Fingerprint, full.Results[0].Fingerprint; got != want {
+		t.Errorf("interrupted cell 0 fingerprint diverged from the uninterrupted run")
+	}
+	for gi, res := range rep.Results[1:] {
+		if res.Err != CellCanceled {
+			t.Errorf("cell %d: Err = %q, want %q", gi+1, res.Err, CellCanceled)
+		}
+	}
+}
+
+// TestCampaignLookupServesCells: a Lookup hook fed from a prior run's
+// results must serve every cell (marked Cached) without executing,
+// and reproduce the campaign fingerprint byte for byte — the property
+// the persistent result store's resume path rests on.
+func TestCampaignLookupServesCells(t *testing.T) {
+	full, err := RunCampaign(hookCampaign())
+	if err != nil {
+		t.Fatalf("uninterrupted campaign: %v", err)
+	}
+	type key struct {
+		name string
+		seed uint64
+	}
+	stored := map[key]Result{}
+	for _, res := range full.Results {
+		stored[key{res.Scenario, res.Seed}] = res
+	}
+
+	camp := hookCampaign()
+	var executed atomic.Int64
+	camp.Lookup = func(s Scenario, seed uint64) (Result, bool) {
+		res, ok := stored[key{s.Name, seed}]
+		return res, ok
+	}
+	camp.OnCell = func(gi int, res Result) {
+		if !res.Cached {
+			executed.Add(1)
+		}
+	}
+	rep, err := RunCampaign(camp)
+	if err != nil {
+		t.Fatalf("lookup-served campaign: %v", err)
+	}
+	if executed.Load() != 0 {
+		t.Errorf("%d cells executed despite a full Lookup", executed.Load())
+	}
+	if rep.CachedCells != len(full.Results) {
+		t.Errorf("CachedCells = %d, want %d", rep.CachedCells, len(full.Results))
+	}
+	if rep.FingerprintSHA256 != full.FingerprintSHA256 {
+		t.Errorf("lookup-served campaign fingerprint diverged:\n got %s\nwant %s",
+			rep.FingerprintSHA256, full.FingerprintSHA256)
+	}
+}
+
+// TestCampaignGateBoundsConcurrency: the Gate hook must be able to
+// impose a pool narrower than Parallel — the mechanism a long-running
+// service uses to share one bounded pool across submissions.
+func TestCampaignGateBoundsConcurrency(t *testing.T) {
+	camp := hookCampaign()
+	camp.Parallel = 4 // four workers contending for a one-slot gate
+	sem := make(chan struct{}, 1)
+	var inFlight, maxInFlight int64
+	var mu sync.Mutex
+	camp.Gate = func(run func()) {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		mu.Lock()
+		inFlight++
+		if inFlight > maxInFlight {
+			maxInFlight = inFlight
+		}
+		mu.Unlock()
+		run()
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+	}
+	rep, err := RunCampaign(camp)
+	if err != nil {
+		t.Fatalf("gated campaign: %v", err)
+	}
+	if maxInFlight != 1 {
+		t.Errorf("gate leaked: %d cells in flight at once, want 1", maxInFlight)
+	}
+	full, err := RunCampaign(hookCampaign())
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	if rep.FingerprintSHA256 != full.FingerprintSHA256 {
+		t.Errorf("gated campaign fingerprint diverged from the ungated run")
+	}
+}
