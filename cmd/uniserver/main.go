@@ -115,6 +115,10 @@ func run() error {
 		"lifetime: mean silicon stress (activity) across fast-forward gaps, in [0,1]")
 	recharactEvery := flag.Int("recharact-every", 0,
 		"lifetime: scheduled re-characterization cadence in days (0 = the core default, ~75 days); campaigns run at epoch entries when due")
+	driftMargin := flag.Float64("drift-margin", -1,
+		"fleet lifetime: drift-gate scheduled re-characterizations — run one only when predicted margin drift since the last campaign exceeds this fraction of the advised headroom (0 = always run, i.e. the plain cadence; negative = off)")
+	eccLoop := flag.Bool("ecc-loop", false,
+		"fleet mode: closed-loop undervolting — each node steps its point below the advised one while correctable ECC stays quiet and backs off on onset")
 	flag.Parse()
 
 	// Which flags did the user set explicitly? -nodes/-windows double
@@ -165,6 +169,9 @@ func run() error {
 		if set["archetypes"] {
 			return fmt.Errorf("scenarios declare their own characterization strategy (see the fleet-100k preset); -archetypes does not apply")
 		}
+		if set["drift-margin"] || set["ecc-loop"] {
+			return fmt.Errorf("scenarios declare their own adaptive policies (see the drift-cadence and ecc-closedloop presets); -drift-margin/-ecc-loop do not apply")
+		}
 		if set["shards"] && *campaignSpec != "" {
 			return fmt.Errorf("-shards does not apply to campaigns; each scenario declares its own shard count")
 		}
@@ -180,6 +187,12 @@ func run() error {
 		}
 		if *nodes <= 1 && (set["shards"] || set["archetypes"]) {
 			return fmt.Errorf("-shards and -archetypes only apply to fleet mode (-nodes > 1)")
+		}
+		if *nodes <= 1 && (set["drift-margin"] || set["ecc-loop"]) {
+			return fmt.Errorf("-drift-margin and -ecc-loop only apply to fleet mode (-nodes > 1)")
+		}
+		if set["drift-margin"] && *lifetimeSpec == "" {
+			return fmt.Errorf("-drift-margin needs -lifetime: the cadence it gates only ticks across lifetime gaps")
 		}
 	}
 	if *campaignSpec != "" && *logfile != "" {
@@ -290,7 +303,7 @@ func run() error {
 			return err
 		}
 	case *nodes > 1:
-		if err := runFleet(*nodes, *workers, *shards, *seed, m, *risk, *windows, *compare, *archetypes, plan, healthOut); err != nil {
+		if err := runFleet(*nodes, *workers, *shards, *seed, m, *risk, *windows, *compare, *archetypes, *driftMargin, *eccLoop, plan, healthOut); err != nil {
 			return err
 		}
 	default:
@@ -709,7 +722,7 @@ func runDiff(args []string, out io.Writer) error {
 
 // runFleet drives the concurrent multi-node engine and prints the
 // aggregate fleet summary.
-func runFleet(nodes, workers, shards int, seed uint64, m vfr.Mode, risk float64, windows int, compare, archetypes bool, plan *core.LifetimePlan, healthOut *os.File) error {
+func runFleet(nodes, workers, shards int, seed uint64, m vfr.Mode, risk float64, windows int, compare, archetypes bool, driftMargin float64, eccLoop bool, plan *core.LifetimePlan, healthOut *os.File) error {
 	cfg := fleet.DefaultConfig(nodes)
 	cfg.Workers = workers
 	cfg.Shards = shards
@@ -719,6 +732,12 @@ func runFleet(nodes, workers, shards int, seed uint64, m vfr.Mode, risk float64,
 	cfg.Windows = windows
 	cfg.Lifetime = plan
 	cfg.Archetypes = archetypes
+	if driftMargin >= 0 {
+		cfg.Drift = &fleet.DriftPolicy{MarginFrac: driftMargin}
+	}
+	if eccLoop {
+		cfg.ECC = &fleet.ECCPolicy{}
+	}
 	if healthOut != nil {
 		cfg.HealthLogOut = healthOut
 	}

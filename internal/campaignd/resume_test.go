@@ -8,6 +8,124 @@ import (
 	"uniserver/internal/scenario"
 )
 
+// policyGrid is the adaptive-policy campaign grid: the drift-gated
+// cadence preset and the closed-loop undervolting preset, scaled to
+// the resume tests' cell size.
+func policyGrid(t *testing.T) ([]scenario.Scenario, []uint64) {
+	t.Helper()
+	var scens []scenario.Scenario
+	for _, name := range []string{"drift-cadence", "ecc-closedloop"} {
+		s, err := scenario.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scens = append(scens, s.Scale(2, 6))
+	}
+	return scens, []uint64{7}
+}
+
+// TestCrashResumePolicyPreset re-proves the crash-resume contract on
+// cells whose deployments carry live policy state (drift baselines,
+// closed-loop controller offsets): a run killed after its first cell
+// must resume to the one-shot run's bytes, and the resumed report's
+// policy counters must equal the one-shot report's — the counters
+// travel through the store inside the persisted summaries, not
+// through any in-process controller state.
+func TestCrashResumePolicyPreset(t *testing.T) {
+	scens, seeds := policyGrid(t)
+	ref, err := scenario.RunCampaign(scenario.Campaign{Scenarios: scens, Seeds: seeds, Parallel: 1})
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	refByName := map[string]scenario.ScenarioReport{}
+	for _, sr := range ref.Scenarios {
+		refByName[sr.Scenario] = sr
+	}
+	// The grid must actually exercise the policies, or the test proves
+	// nothing about them.
+	if dc := refByName["drift-cadence"]; dc.RecharTriggered+dc.RecharSuppressed == 0 {
+		t.Fatal("drift-cadence cell made no gate decisions at this grid size")
+	}
+	if ec := refByName["ecc-closedloop"]; ec.UndervoltSteps == 0 {
+		t.Fatal("ecc-closedloop cell took no controller steps at this grid size")
+	}
+
+	dir := t.TempDir()
+	st1, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatalf("Open store: %v", err)
+	}
+	srv1 := New(Options{Store: st1, Pool: 1})
+	srv1.testCellDone = func(runID string, gi int, res scenario.Result) {
+		srv1.cancel()
+	}
+	p1, err := srv1.plan(scens, seeds, 0, 1)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if _, err = srv1.launch(p1, nil); err == nil {
+		t.Fatalf("interrupted campaign reported success")
+	}
+	srv1.Close()
+
+	st2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatalf("re-Open store: %v", err)
+	}
+	srv2 := New(Options{Store: st2, Pool: 1})
+	defer srv2.Close()
+	if n, err := srv2.ResumeIncomplete(); err != nil || n != 1 {
+		t.Fatalf("ResumeIncomplete = %d, %v; want 1 run", n, err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	var final resultstore.RunManifest
+	for {
+		if m, ok := st2.GetRun(p1.runID); ok && m.Status != resultstore.RunRunning {
+			final = m
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed run did not complete in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if final.Status != resultstore.RunComplete {
+		t.Fatalf("resumed run finished %q (%s), want complete", final.Status, final.Error)
+	}
+	if final.FingerprintSHA256 != ref.FingerprintSHA256 {
+		t.Errorf("resumed policy campaign diverged from the one-shot run:\n got %s\nwant %s",
+			final.FingerprintSHA256, ref.FingerprintSHA256)
+	}
+	if final.CachedCells != 1 {
+		t.Errorf("resumed run served %d cells from the store, want 1", final.CachedCells)
+	}
+	if final.Report == nil {
+		t.Fatal("complete manifest carries no report")
+	}
+	for _, sr := range final.Report.Scenarios {
+		want := refByName[sr.Scenario]
+		if sr.RecharTriggered != want.RecharTriggered ||
+			sr.RecharSuppressed != want.RecharSuppressed ||
+			sr.UndervoltSteps != want.UndervoltSteps ||
+			sr.ECCBackoffs != want.ECCBackoffs ||
+			sr.Recharacterized != want.Recharacterized {
+			t.Errorf("%s policy counters diverged after resume:\n got %+v\nwant %+v",
+				sr.Scenario, sr, want)
+		}
+	}
+	for i, key := range p1.cellKeys {
+		rec, ok := st2.GetCell(key)
+		if !ok {
+			t.Fatalf("cell %d missing after resume", i)
+		}
+		if rec.Fingerprint != ref.Results[i].Fingerprint {
+			t.Errorf("cell %d fingerprint diverged after resume (scenario %s seed %d)",
+				i, rec.Scenario, rec.Seed)
+		}
+	}
+}
+
 // TestCrashResumeDeterminism is the satellite the result store exists
 // for: a server hard-stopped mid-campaign (after at least one cell has
 // persisted) must, on restart against the same store directory, finish

@@ -109,6 +109,12 @@ type Ecosystem struct {
 	memTherm *thermal.Node
 	trip     thermal.Trip
 
+	// weakGrowthPerDay is the DRAM weak-cell activation rate applied
+	// across fast-forward gaps (expected new weak cells per DIMM per
+	// day); zero — the default — keeps the fabricated population fixed
+	// and draws nothing. See SetWeakGrowth.
+	weakGrowthPerDay float64
+
 	// Worst-CPU-margin cache, recomputed whenever a characterization
 	// campaign installs a table (setTable). The published table is
 	// treated as immutable, so the per-window and per-mode-entry paths
@@ -312,24 +318,44 @@ func (e *Ecosystem) setTable(t *vfr.EOPTable) {
 // Mode returns the current operating mode.
 func (e *Ecosystem) Mode() vfr.Mode { return e.mode }
 
-// EnterMode asks the Predictor for the component point satisfying the
-// risk target and applies it through the Hypervisor: the CPU point
-// from the worst core's margin, and the DRAM refresh margin on the
-// relaxed domains.
-func (e *Ecosystem) EnterMode(mode vfr.Mode, riskTarget float64, wl workload.Profile) (vfr.Point, error) {
+// SetWeakGrowth arms DRAM weak-cell population growth across
+// fast-forward gaps: the expected number of newly-activated weak cells
+// per DIMM per day (AVATAR, DSN 2015: the weak-cell population in the
+// field is not static). Zero — the default — keeps the fabricated
+// population fixed and consumes no random draws, so pre-existing
+// streams are untouched.
+func (e *Ecosystem) SetWeakGrowth(cellsPerDIMMPerDay float64) {
+	e.weakGrowthPerDay = cellsPerDIMMPerDay
+}
+
+// Advise consults the Predictor against the live EOP table for the
+// operating point it would recommend in the given mode at the given
+// risk target, without applying anything. It is the pure decision
+// surface EnterMode applies and the adaptive policies (drift-gated
+// re-characterization, closed-loop undervolting) query between
+// campaigns.
+func (e *Ecosystem) Advise(mode vfr.Mode, riskTarget float64, wl workload.Profile) (predictor.Advice, error) {
 	if e.advisor == nil {
-		return vfr.Point{}, errors.New("core: run PreDeployment first")
+		return predictor.Advice{}, errors.New("core: run PreDeployment first")
 	}
 	// The system point must be safe for the worst core: the component
 	// with the least headroom, precomputed when the table was published.
 	worst := e.worstComp
 	if worst == "" {
-		return vfr.Point{}, errors.New("core: no CPU margins in table")
+		return predictor.Advice{}, errors.New("core: no CPU margins in table")
 	}
-	adv, err := e.advisor.Advise(worst, mode, predictor.Features{
+	return e.advisor.Advise(worst, mode, predictor.Features{
 		DroopIntensity: wl.DroopIntensity,
 		TempC:          55,
 	}, riskTarget)
+}
+
+// EnterMode asks the Predictor for the component point satisfying the
+// risk target and applies it through the Hypervisor: the CPU point
+// from the worst core's margin, and the DRAM refresh margin on the
+// relaxed domains.
+func (e *Ecosystem) EnterMode(mode vfr.Mode, riskTarget float64, wl workload.Profile) (vfr.Point, error) {
+	adv, err := e.Advise(mode, riskTarget, wl)
 	if err != nil {
 		return vfr.Point{}, err
 	}

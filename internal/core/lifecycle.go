@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"uniserver/internal/predictor"
 	"uniserver/internal/silicon"
 	"uniserver/internal/stresslog"
 	"uniserver/internal/vfr"
@@ -69,6 +70,20 @@ type DeploymentSummary struct {
 	// lifetime (nil for plain single-epoch deployments, so existing
 	// summaries — and their fingerprints — are untouched).
 	Epochs []EpochSummary `json:"epochs,omitempty"`
+
+	// Adaptive-policy counters. All four stay zero — and JSON-silent —
+	// unless the corresponding policy is armed, so policy-less
+	// deployments keep their existing summaries and fingerprints.
+	//
+	// RecharTriggered and RecharSuppressed count the drift gate's
+	// decisions on scheduled campaigns: run (predicted margin drift
+	// exceeded the armed fraction) versus skip (margins still fresh).
+	RecharTriggered  int `json:"rechar_triggered,omitempty"`
+	RecharSuppressed int `json:"rechar_suppressed,omitempty"`
+	// UndervoltSteps and ECCBackoffs count the closed-loop controller's
+	// moves below the advised point and its retreats on ECC onset.
+	UndervoltSteps int `json:"undervolt_steps,omitempty"`
+	ECCBackoffs    int `json:"ecc_backoffs,omitempty"`
 }
 
 // Deployment is a supervised closed-loop deployment in progress: the
@@ -98,7 +113,33 @@ type Deployment struct {
 	epochStartRechar  int
 	epochEntryAge     float64
 	epochEntrySafe    int
+
+	// Drift policy (SetDriftPolicy): gate scheduled campaigns on the
+	// predicted margin drift accumulated since the last one.
+	driftOn         bool
+	driftFrac       float64
+	lastCampaignAge float64
+
+	// ECC closed loop (SetECCLoop): creep the operating point below the
+	// advised one while correctable errors stay at or under the
+	// threshold; back off on onset. eccExtraMV is the controller's
+	// current offset below the advised point.
+	eccOn        bool
+	eccThreshold int
+	eccExtraMV   int
 }
+
+// Closed-loop undervolting constants (Bacha & Teodorescu, ISCA 2013:
+// reclaim voltage guardbands online, using correctable ECC errors as
+// the early-warning signal).
+const (
+	// eccStepMV is the controller's per-decision voltage step, matching
+	// the advisor's 5 mV backoff granularity.
+	eccStepMV = 5
+	// eccMaxExtraMV bounds how far below the advised point the
+	// controller will creep before holding.
+	eccMaxExtraMV = 40
+)
 
 // StartDeployment enters the requested mode and returns a stepper for
 // the supervised loop. The returned Deployment has run zero windows.
@@ -118,7 +159,127 @@ func (e *Ecosystem) StartDeployment(mode vfr.Mode, riskTarget float64, wl worklo
 	if m, err := e.worstCPUMargin(); err == nil {
 		d.epochEntrySafe = m.Safe.VoltageMV
 	}
+	d.lastCampaignAge = e.Machine.Chip.AgeShiftMV
 	return d, nil
+}
+
+// SetDriftPolicy arms drift-gated re-characterization: scheduled
+// (cadence) campaigns run only when the critical-voltage drift
+// accumulated since the last campaign exceeds marginFrac of the
+// headroom the Predictor's advised point currently reclaims below
+// nominal. Crash- and error-threshold-triggered campaigns are the
+// safety path and are never gated. marginFrac 0 is the degenerate
+// "always due" policy — every scheduled campaign runs, reproducing the
+// plain fixed cadence exactly. A negative marginFrac disarms.
+func (d *Deployment) SetDriftPolicy(marginFrac float64) {
+	if marginFrac < 0 {
+		d.driftOn = false
+		return
+	}
+	d.driftOn = true
+	d.driftFrac = marginFrac
+	d.lastCampaignAge = d.eco.Machine.Chip.AgeShiftMV
+}
+
+// SetECCLoop arms the correctable-ECC-feedback closed-loop undervolting
+// controller (Bacha & Teodorescu, ISCA 2013): each quiet window — at
+// most `threshold` correctable errors — steps the operating point one
+// notch below the advised point, up to a bounded offset; a window over
+// the threshold backs one notch off. Crashes, mode switches and
+// re-characterizations re-derive the point through the usual EnterMode
+// machinery and reset the controller. A negative threshold disarms.
+func (d *Deployment) SetECCLoop(threshold int) {
+	if threshold < 0 {
+		d.eccOn = false
+		return
+	}
+	d.eccOn = true
+	d.eccThreshold = threshold
+	d.eccExtraMV = 0
+}
+
+// Advise returns the operating point the Predictor currently
+// recommends for the deployment's mode, risk target and workload —
+// the pure decision surface the adaptive policies consult. Nothing is
+// applied and no simulation state moves.
+func (d *Deployment) Advise() (predictor.Advice, error) {
+	return d.eco.Advise(d.mode, d.risk, d.wl)
+}
+
+// driftDue consults the Predictor against the live EOP table: the
+// measured drift is the critical-voltage shift accumulated since the
+// last campaign, and the gate opens when it reaches driftFrac of the
+// headroom the advised point reclaims below nominal. With driftFrac 0
+// it is always open (aging is monotone, so drift >= 0), which is what
+// makes the zero policy degenerate to the plain cadence.
+func (d *Deployment) driftDue() bool {
+	adv, err := d.Advise()
+	if err != nil {
+		// Fail open: a broken decision surface is exactly what a fresh
+		// characterization repairs.
+		return true
+	}
+	m, err := d.eco.worstCPUMargin()
+	if err != nil {
+		return true
+	}
+	headroomMV := float64(m.Nominal.VoltageMV - adv.Point.VoltageMV)
+	drift := d.eco.Machine.Chip.AgeShiftMV - d.lastCampaignAge
+	return drift >= d.driftFrac*headroomMV
+}
+
+// scheduledCampaignDue reports whether a periodic-cadence campaign
+// should run now. Without a drift policy it is exactly
+// Stress.DuePeriodic. With one, a due slot runs only when driftDue;
+// otherwise the slot is consumed (SkipPeriodic) so the decision
+// recurs at the next cadence tick, not on every following window.
+func (d *Deployment) scheduledCampaignDue() bool {
+	if !d.eco.Stress.DuePeriodic() {
+		return false
+	}
+	if !d.driftOn {
+		return true
+	}
+	if !d.driftDue() {
+		d.eco.Stress.SkipPeriodic()
+		d.sum.RecharSuppressed++
+		return false
+	}
+	d.sum.RecharTriggered++
+	return true
+}
+
+// eccStep is one closed-loop controller decision, taken at the end of
+// a window that neither crashed nor re-characterized. It is a pure
+// function of the window's correctable-error count and the
+// controller's own offset — no random draws — so it preserves the
+// determinism contract untouched.
+func (d *Deployment) eccStep(correctable int) error {
+	e := d.eco
+	if e.mode == vfr.ModeNominal {
+		// A fallback re-derived the point at nominal; the controller
+		// only creeps below an extended operating point.
+		d.eccExtraMV = 0
+		return nil
+	}
+	cur := e.Hypervisor.Point()
+	switch {
+	case correctable > d.eccThreshold:
+		if d.eccExtraMV > 0 {
+			d.eccExtraMV -= eccStepMV
+			d.sum.ECCBackoffs++
+			if err := e.Hypervisor.ApplyPoint(cur.WithVoltage(cur.VoltageMV + eccStepMV)); err != nil {
+				return fmt.Errorf("core: ecc-loop backoff: %w", err)
+			}
+		}
+	case d.eccExtraMV+eccStepMV <= eccMaxExtraMV:
+		d.eccExtraMV += eccStepMV
+		d.sum.UndervoltSteps++
+		if err := e.Hypervisor.ApplyPoint(cur.WithVoltage(cur.VoltageMV - eccStepMV)); err != nil {
+			return fmt.Errorf("core: ecc-loop step: %w", err)
+		}
+	}
+	return nil
 }
 
 // Step advances the deployment by one observation window, implementing
@@ -159,11 +320,18 @@ func (d *Deployment) Step() (WindowReport, error) {
 		}
 		needCampaign = true
 	}
-	if rep.PendingTests > 0 || e.Stress.DuePeriodic() {
+	if rep.PendingTests > 0 {
+		needCampaign = true
+	}
+	if !needCampaign && d.scheduledCampaignDue() {
 		needCampaign = true
 	}
 	if needCampaign {
 		if err := d.RecharacterizeNow(); err != nil {
+			return rep, err
+		}
+	} else if d.eccOn {
+		if err := d.eccStep(rep.Correctable); err != nil {
 			return rep, err
 		}
 	}
@@ -182,6 +350,7 @@ func (d *Deployment) SwitchMode(mode vfr.Mode, riskTarget float64) error {
 	}
 	d.mode = mode
 	d.risk = riskTarget
+	d.eccExtraMV = 0
 	return nil
 }
 

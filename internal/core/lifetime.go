@@ -194,6 +194,15 @@ func (e *Ecosystem) FastForward(g Gap, model silicon.AgingModel) error {
 		for _, dom := range e.Mem.Domains {
 			dram.ToggleVRTCoarse(dom, windowsPerDay, daySrc)
 		}
+		// Weak-cell population growth (SetWeakGrowth) appends its draws
+		// to the same per-day child stream: a zero rate draws nothing,
+		// and the parent stream never sees how much a child consumed, so
+		// growth-free runs are bit-identical to the pre-growth engine.
+		if e.weakGrowthPerDay > 0 {
+			for _, dom := range e.Mem.Domains {
+				dram.GrowWeakCells(dom, 1, e.weakGrowthPerDay, e.Mem.Model, daySrc)
+			}
+		}
 	}
 	// Months at ambient: die, DIMM and memory-system temperatures have
 	// fully relaxed.
@@ -254,9 +263,10 @@ func (d *Deployment) SetCadence(every time.Duration) {
 
 // MaybeRecharacterize runs a scheduled campaign if the periodic
 // cadence has elapsed — the epoch-entry check the paper's "every 2-3
-// months" schedule implies — and reports whether one ran.
+// months" schedule implies — and reports whether one ran. An armed
+// drift policy gates the decision exactly as it does inside Step.
 func (d *Deployment) MaybeRecharacterize() (bool, error) {
-	if !d.eco.Stress.DuePeriodic() {
+	if !d.scheduledCampaignDue() {
 		return false, nil
 	}
 	if err := d.RecharacterizeNow(); err != nil {
@@ -280,6 +290,10 @@ func (d *Deployment) RecharacterizeNow() error {
 	if _, err := e.EnterMode(d.mode, d.risk, d.wl); err != nil {
 		return err
 	}
+	// The fresh table is the new drift baseline, and the re-derived
+	// point supersedes any closed-loop offset.
+	d.lastCampaignAge = e.Machine.Chip.AgeShiftMV
+	d.eccExtraMV = 0
 	if d.sum.Windows == d.epochStartWindows {
 		// Entry campaign: the epoch runs at the refreshed point, so the
 		// trajectory records the post-campaign margin.

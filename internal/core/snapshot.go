@@ -167,19 +167,20 @@ func (e *Ecosystem) clone(out io.Writer) (*Ecosystem, error) {
 		Model:      &model,
 		Hypervisor: hyp,
 
-		opts:            opts,
-		src:             &src,
-		power:           e.power,
-		refresh:         e.refresh,
-		mode:            e.mode,
-		cpuTherm:        &thermal.Node{},
-		memTherm:        &thermal.Node{},
-		trip:            e.trip,
-		worstComp:       e.worstComp,
-		worstMargin:     e.worstMargin,
-		windowsRun:      e.windowsRun,
-		atEpochBoundary: e.atEpochBoundary,
-		dramHits:        make(map[string]int),
+		opts:             opts,
+		src:              &src,
+		power:            e.power,
+		refresh:          e.refresh,
+		mode:             e.mode,
+		weakGrowthPerDay: e.weakGrowthPerDay,
+		cpuTherm:         &thermal.Node{},
+		memTherm:         &thermal.Node{},
+		trip:             e.trip,
+		worstComp:        e.worstComp,
+		worstMargin:      e.worstMargin,
+		windowsRun:       e.windowsRun,
+		atEpochBoundary:  e.atEpochBoundary,
+		dramHits:         make(map[string]int),
 	}
 	*c.cpuTherm = *e.cpuTherm
 	*c.memTherm = *e.memTherm

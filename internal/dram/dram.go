@@ -197,6 +197,57 @@ func (d *DIMM) Clone() *DIMM {
 	return &out
 }
 
+// Grow appends n freshly-activated weak cells to the DIMM, drawing
+// each exactly like fabrication does (position, retention from the
+// weak tail, polarity, VRT membership) and keeping the private VRT
+// index current. Field data says the weak-cell population is not
+// static (Qureshi et al., AVATAR, DSN 2015: new weak cells keep
+// appearing at a roughly constant rate over a device's life); Grow is
+// the mechanism lifetime fast-forwards use to model that.
+func (d *DIMM) Grow(n int, model RetentionModel, src *rng.Source) {
+	if n <= 0 {
+		return
+	}
+	bits := d.Bits()
+	pWeak := model.FailProb(WeakCellHorizon, model.RefTempC)
+	for i := 0; i < n; i++ {
+		cell := WeakCell{
+			Offset:       src.Uint64() % bits,
+			RetentionSec: model.sampleWeakTail(pWeak, src),
+			TrueCell:     src.Bool(),
+		}
+		if src.Bernoulli(VRTFraction) {
+			cell.AltRetentionSec = cell.RetentionSec / VRTRetentionRatio
+			cell.LowState = src.Bool()
+			d.vrt = append(d.vrt, len(d.Weak))
+		}
+		d.Weak = append(d.Weak, cell)
+	}
+}
+
+// GrowWeakCells advances the domain's weak-cell population by `days`
+// of field aging at the given activation rate (expected newly-weak
+// cells per DIMM per day). The count per DIMM is a binomial draw over
+// the module's bits — the same distribution fabrication uses — so a
+// zero rate draws nothing and leaves the source stream untouched.
+func GrowWeakCells(dom *Domain, days int, cellsPerDIMMPerDay float64, model RetentionModel, src *rng.Source) {
+	if days <= 0 || cellsPerDIMMPerDay <= 0 {
+		return
+	}
+	for _, dimm := range dom.DIMMs {
+		bits := dimm.Bits()
+		if bits == 0 {
+			continue
+		}
+		p := cellsPerDIMMPerDay * float64(days) / float64(bits)
+		if p > 1 {
+			p = 1
+		}
+		n := src.Binomial(clampInt(bits), p)
+		dimm.Grow(n, model, src)
+	}
+}
+
 // Domain is a refresh domain: a set of DIMMs (one memory channel in
 // the paper's setup) sharing one refresh interval.
 type Domain struct {

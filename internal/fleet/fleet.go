@@ -169,6 +169,37 @@ type Config struct {
 	// explicit Windows value is ignored. The cloud layer sees the
 	// concatenated epoch windows — gaps carry no tenant traffic.
 	Lifetime *core.LifetimePlan
+
+	// Drift, when set, arms drift-gated re-characterization on every
+	// node (core.Deployment.SetDriftPolicy): a scheduled cadence
+	// campaign runs only when the predicted margin drift since the last
+	// campaign exceeds MarginFrac of the advised headroom; otherwise
+	// the slot is skipped. MarginFrac 0 is the degenerate "always run"
+	// policy — scheduling identical to the plain cadence.
+	Drift *DriftPolicy
+	// ECC, when set, arms each node's correctable-ECC-feedback
+	// closed-loop undervolting controller (core.Deployment.SetECCLoop).
+	ECC *ECCPolicy
+	// WeakGrowthPerDay, when positive, grows every node's DRAM
+	// weak-cell population across fast-forward gaps (expected new weak
+	// cells per DIMM per day — core.Ecosystem.SetWeakGrowth). Zero
+	// leaves the fabricated population static.
+	WeakGrowthPerDay float64
+}
+
+// DriftPolicy configures drift-gated re-characterization.
+type DriftPolicy struct {
+	// MarginFrac is the fraction of the advised headroom the
+	// accumulated critical-voltage drift must reach before a scheduled
+	// campaign is allowed to run.
+	MarginFrac float64
+}
+
+// ECCPolicy configures closed-loop undervolting.
+type ECCPolicy struct {
+	// Threshold is the per-window correctable-error count the
+	// controller tolerates before backing off (0 = back off on any).
+	Threshold int
 }
 
 // NodeSpec is one node's complete configuration in a (possibly
@@ -341,6 +372,13 @@ type NodeSummary struct {
 	// plain single-epoch runs, so pre-lifetime goldens are untouched.
 	FinalAgeShiftMV float64             `json:"FinalAgeShiftMV,omitempty"`
 	Epochs          []core.EpochSummary `json:"Epochs,omitempty"`
+	// Adaptive-policy counters — all zero (JSON- and
+	// fingerprint-silent) unless a policy is armed, so policy-less
+	// goldens are untouched.
+	RecharTriggered  int `json:",omitempty"`
+	RecharSuppressed int `json:",omitempty"`
+	UndervoltSteps   int `json:",omitempty"`
+	ECCBackoffs      int `json:",omitempty"`
 }
 
 // Summary aggregates a fleet run. All fields except Workers, Shards
@@ -360,6 +398,15 @@ type Summary struct {
 	// MeanCPUTempC averages the per-node mean die temperatures (node
 	// order); ambient-temperature scenarios move it.
 	MeanCPUTempC float64
+
+	// Adaptive-policy aggregates (summed in node order): the drift
+	// gate's run/skip decisions on scheduled campaigns and the ECC
+	// closed loop's undervolt steps and backoffs. All zero when no
+	// policy is armed.
+	RecharTriggered  int `json:",omitempty"`
+	RecharSuppressed int `json:",omitempty"`
+	UndervoltSteps   int `json:",omitempty"`
+	ECCBackoffs      int `json:",omitempty"`
 
 	// Cloud-level aggregates from the manager.
 	Scheduled            int
@@ -402,11 +449,23 @@ func (s Summary) Fingerprint() string {
 	fmt.Fprintf(&b, "sched=%d rej=%d migr=%d sla=%d uf=%d evict=%d kwh=%s avail=%s\n",
 		s.Scheduled, s.Rejected, s.Migrations, s.SLAViolations,
 		s.UserFacingViolations, s.EvictedVMs, exactFloat(s.EnergyKWh), exactFloat(s.MeanAvailability))
+	// Adaptive-policy runs make the policy decisions fingerprint-
+	// visible. The counters are deterministic functions of the Config,
+	// so the gate is too; policy-less runs emit nothing here and keep
+	// their pre-policy goldens.
+	if s.RecharTriggered+s.RecharSuppressed+s.UndervoltSteps+s.ECCBackoffs > 0 {
+		fmt.Fprintf(&b, "policy drift+=%d drift-=%d uv=%d backoff=%d\n",
+			s.RecharTriggered, s.RecharSuppressed, s.UndervoltSteps, s.ECCBackoffs)
+	}
 	for _, n := range s.PerNode {
 		fmt.Fprintf(&b, "%s model=%s seed=%d acc=%s crashes=%d rechar=%d eop=%d corr=%d dram=%d tempC=%s savedWh=%s safeMV=%d\n",
 			n.Name, n.Model, n.Seed, exactFloat(n.PredictorAcc), n.Crashes, n.Recharacterized,
 			n.WindowsAtEOP, n.CorrectableMasked, n.DRAMCorrected, exactFloat(n.MeanCPUTempC),
 			exactFloat(n.EnergySavedWh), n.FinalSafeVoltageMV)
+		if n.RecharTriggered+n.RecharSuppressed+n.UndervoltSteps+n.ECCBackoffs > 0 {
+			fmt.Fprintf(&b, "%s policy drift+=%d drift-=%d uv=%d backoff=%d\n",
+				n.Name, n.RecharTriggered, n.RecharSuppressed, n.UndervoltSteps, n.ECCBackoffs)
+		}
 		// Lifetime runs make the margin trajectory fingerprint-visible:
 		// one line per epoch (entry aging drift, published safe point,
 		// campaigns run) plus the final drift. Single-epoch runs emit
@@ -694,6 +753,15 @@ func Run(cfg Config) (Summary, error) {
 		if cfg.Lifetime != nil {
 			dep.SetCadence(cfg.Lifetime.RecharactEvery)
 		}
+		if cfg.Drift != nil {
+			dep.SetDriftPolicy(cfg.Drift.MarginFrac)
+		}
+		if cfg.ECC != nil {
+			dep.SetECCLoop(cfg.ECC.Threshold)
+		}
+		if cfg.WeakGrowthPerDay > 0 {
+			eco.SetWeakGrowth(cfg.WeakGrowthPerDay)
+		}
 		n, err := eco.Node(s.name, spec.MemBytes)
 		if err != nil {
 			failNode(charactWindow, fmt.Errorf("fleet: node %d export: %w", i, err))
@@ -833,6 +901,10 @@ func Run(cfg Config) (Summary, error) {
 		sum.DRAMCorrected += d.DRAMCorrected
 		sum.EnergySavedWh += d.EnergySavedWh
 		sum.MeanCPUTempC += d.MeanCPUTempC
+		sum.RecharTriggered += d.RecharTriggered
+		sum.RecharSuppressed += d.RecharSuppressed
+		sum.UndervoltSteps += d.UndervoltSteps
+		sum.ECCBackoffs += d.ECCBackoffs
 		ns := NodeSummary{
 			Name:               s.name,
 			Model:              s.model,
@@ -847,6 +919,10 @@ func Run(cfg Config) (Summary, error) {
 			EnergySavedWh:      d.EnergySavedWh,
 			FinalSafeVoltageMV: d.FinalSafeVoltageMV,
 			Epochs:             d.Epochs,
+			RecharTriggered:    d.RecharTriggered,
+			RecharSuppressed:   d.RecharSuppressed,
+			UndervoltSteps:     d.UndervoltSteps,
+			ECCBackoffs:        d.ECCBackoffs,
 		}
 		if len(d.Epochs) > 0 {
 			ns.FinalAgeShiftMV = d.FinalAgeShiftMV

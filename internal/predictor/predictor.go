@@ -120,10 +120,13 @@ func (m *Model) Fit(samples []Sample, epochs int, src *rng.Source) error {
 }
 
 // Accuracy returns the fraction of samples classified correctly at the
-// 0.5 threshold.
+// 0.5 threshold. An empty sample set has no defined accuracy and
+// returns NaN — consistent with Fit, which refuses to train on empty
+// input, and distinguishable from a model that is genuinely 0%
+// accurate.
 func (m *Model) Accuracy(samples []Sample) float64 {
 	if len(samples) == 0 {
-		return 0
+		return math.NaN()
 	}
 	correct := 0
 	for _, s := range samples {
@@ -134,10 +137,12 @@ func (m *Model) Accuracy(samples []Sample) float64 {
 	return float64(correct) / float64(len(samples))
 }
 
-// LogLoss returns the mean cross-entropy over the samples.
+// LogLoss returns the mean cross-entropy over the samples. An empty
+// sample set has no defined loss and returns NaN — consistent with Fit
+// and Accuracy — rather than a perfect-looking 0.
 func (m *Model) LogLoss(samples []Sample) float64 {
 	if len(samples) == 0 {
-		return 0
+		return math.NaN()
 	}
 	const eps = 1e-12
 	total := 0.0

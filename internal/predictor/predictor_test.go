@@ -102,10 +102,37 @@ func TestDroopierWorkloadIsRiskier(t *testing.T) {
 	}
 }
 
-func TestLogLossEmptyAndAccuracyEmpty(t *testing.T) {
+// TestMetricsEmptyInput pins the empty-sample-set contract: Fit
+// refuses to train on an empty set, so the evaluation metrics treat it
+// the same way — undefined, reported as NaN rather than a fake perfect
+// (or perfectly bad) score a dashboard could mistake for a real one.
+func TestMetricsEmptyInput(t *testing.T) {
 	m := NewModel()
-	if m.LogLoss(nil) != 0 || m.Accuracy(nil) != 0 {
-		t.Fatal("empty-set metrics should be 0")
+	cases := []struct {
+		name    string
+		samples []Sample
+		metric  func([]Sample) float64
+	}{
+		{"accuracy nil", nil, m.Accuracy},
+		{"accuracy empty", []Sample{}, m.Accuracy},
+		{"logloss nil", nil, m.LogLoss},
+		{"logloss empty", []Sample{}, m.LogLoss},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.metric(c.samples); !math.IsNaN(got) {
+				t.Fatalf("empty sample set scored %v, want NaN", got)
+			}
+		})
+	}
+	// One sample is a defined input: the metrics must return real
+	// numbers again.
+	one := []Sample{{F: Features{UndervoltPct: 2, TempC: 55}}}
+	if got := m.Accuracy(one); math.IsNaN(got) {
+		t.Fatal("single-sample accuracy is NaN")
+	}
+	if got := m.LogLoss(one); math.IsNaN(got) {
+		t.Fatal("single-sample log-loss is NaN")
 	}
 }
 

@@ -68,6 +68,13 @@ type ScenarioReport struct {
 	// Recharacterized totals the StressLog campaigns run mid-life —
 	// scheduled (cadence), threshold- and crash-triggered alike.
 	Recharacterized int `json:"recharacterized"`
+	// Adaptive-policy counters (omitted when no policy is armed): the
+	// drift gate's run/skip decisions on scheduled campaigns and the
+	// ECC closed loop's undervolt steps and backoffs.
+	RecharTriggered  int `json:"rechar_triggered,omitempty"`
+	RecharSuppressed int `json:"rechar_suppressed,omitempty"`
+	UndervoltSteps   int `json:"undervolt_steps,omitempty"`
+	ECCBackoffs      int `json:"ecc_backoffs,omitempty"`
 
 	FingerprintSHA256 string `json:"fingerprint_sha256"`
 }
@@ -404,6 +411,10 @@ func RunCampaign(c Campaign) (Report, error) {
 			sr.Scheduled += sum.Scheduled
 			sr.Rejected += sum.Rejected
 			sr.Recharacterized += sum.Recharacterized
+			sr.RecharTriggered += sum.RecharTriggered
+			sr.RecharSuppressed += sum.RecharSuppressed
+			sr.UndervoltSteps += sum.UndervoltSteps
+			sr.ECCBackoffs += sum.ECCBackoffs
 			if len(sum.PerNode) > 0 {
 				nodeAge := 0.0
 				for _, n := range sum.PerNode {

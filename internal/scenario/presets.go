@@ -176,6 +176,38 @@ func RecharactCadences() []Scenario {
 	}
 }
 
+// DriftCadence is the Predictor-in-the-loop leg of the cadence family:
+// the same seven-epoch monthly-schedule lifetime as recharact-1mo, but
+// every scheduled campaign first consults the Predictor and runs only
+// when the critical-voltage drift accumulated since the last campaign
+// exceeds a tenth of the advised headroom — margin-aware
+// re-characterization instead of a blind clock. Weak-cell growth is
+// armed so the DRAM population drifts over life too (AVATAR's
+// non-static field population), giving the gate real drift to track.
+// Compare its recharacterization count, energy and availability
+// against the recharact-* legs.
+func DriftCadence() Scenario {
+	s := recharactCadence("drift-cadence", 30, "month")
+	s.Name = "drift-cadence"
+	s.Description = "drift-gated cadence: monthly schedule, campaigns only above 10% predicted margin drift"
+	s.DriftMarginFrac = 0.1
+	s.WeakCellsPerDay = 2
+	return s
+}
+
+// ECCClosedLoop is the closed-loop undervolting preset (Bacha &
+// Teodorescu, ISCA 2013): the baseline fleet with each node's
+// controller stepping the operating point below the advised one while
+// correctable ECC stays silent, and backing off a notch on onset —
+// margins reclaimed by feedback rather than by the risk model alone.
+func ECCClosedLoop() Scenario {
+	s := Baseline()
+	s.Name = "ecc-closedloop"
+	s.Description = "closed-loop undervolting: creep below the advised point while correctable ECC is quiet, back off on onset"
+	s.ECCLoop = true
+	return s
+}
+
 // Presets returns the bundled scenario catalogue, sorted by name.
 func Presets() []Scenario {
 	out := []Scenario{
@@ -187,6 +219,8 @@ func Presets() []Scenario {
 		DroopAttack(),
 		AgingYear(),
 		Fleet100k(),
+		DriftCadence(),
+		ECCClosedLoop(),
 	}
 	out = append(out, RecharactCadences()...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

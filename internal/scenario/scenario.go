@@ -73,6 +73,27 @@ type Scenario struct {
 	// The zero value is a plain single-epoch run.
 	Lifetime LifetimeModel
 
+	// DriftMarginFrac, when positive, arms drift-gated
+	// re-characterization (fleet.DriftPolicy): scheduled cadence
+	// campaigns run only when the predicted margin drift since the last
+	// campaign exceeds this fraction of the advised headroom. Requires
+	// an enabled Lifetime — the cadence it gates only ticks across
+	// gaps. Zero disables (plain cadence).
+	DriftMarginFrac float64
+
+	// ECCLoop arms the per-node correctable-ECC-feedback closed-loop
+	// undervolting controller (fleet.ECCPolicy); ECCThreshold is the
+	// per-window correctable-error count it tolerates before backing
+	// off (0 = back off on any error).
+	ECCLoop      bool
+	ECCThreshold int
+
+	// WeakCellsPerDay, when positive, grows each node's DRAM weak-cell
+	// population across lifetime gaps (expected newly-weak cells per
+	// DIMM per day — AVATAR's non-static population). Requires an
+	// enabled Lifetime: growth only advances across gaps.
+	WeakCellsPerDay float64
+
 	// Shards partitions the fleet's node range into sequentially
 	// executed batches (fleet.Config.Shards). Shard count never changes
 	// results — it bounds the engine's unfolded per-node backlog — so
@@ -317,6 +338,27 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("scenario %s: lifetime seasons and a dynamic ambient model both set; pick one ambient driver", s.Name)
 		}
 	}
+	// Adaptive-policy declarations: same dead-knob discipline — a
+	// policy field that could never act is a declaration error, not a
+	// silent no-op.
+	if s.DriftMarginFrac < 0 {
+		return fmt.Errorf("scenario %s: negative drift margin fraction", s.Name)
+	}
+	if s.DriftMarginFrac > 0 && !s.Lifetime.enabled() {
+		return fmt.Errorf("scenario %s: drift policy set without Epochs > 1 (the cadence it gates only ticks across lifetime gaps)", s.Name)
+	}
+	if s.ECCThreshold < 0 {
+		return fmt.Errorf("scenario %s: negative ECC threshold", s.Name)
+	}
+	if s.ECCThreshold != 0 && !s.ECCLoop {
+		return fmt.Errorf("scenario %s: ECCThreshold set without ECCLoop", s.Name)
+	}
+	if s.WeakCellsPerDay < 0 {
+		return fmt.Errorf("scenario %s: negative weak-cell growth rate", s.Name)
+	}
+	if s.WeakCellsPerDay > 0 && !s.Lifetime.enabled() {
+		return fmt.Errorf("scenario %s: weak-cell growth set without Epochs > 1 (growth only advances across lifetime gaps)", s.Name)
+	}
 	for _, sw := range s.ModeSwitches {
 		if sw.Window < 0 || sw.Window >= s.totalWindows() {
 			return fmt.Errorf("scenario %s: mode switch window %d outside [0,%d)", s.Name, sw.Window, s.totalWindows())
@@ -453,6 +495,15 @@ func (s Scenario) FleetConfig(seed uint64) (fleet.Config, error) {
 		cfg.Lifetime = &plan
 		cfg.Windows = plan.TotalWindows()
 	}
+
+	// Adaptive policies compile onto the fleet knobs directly.
+	if s.DriftMarginFrac > 0 {
+		cfg.Drift = &fleet.DriftPolicy{MarginFrac: s.DriftMarginFrac}
+	}
+	if s.ECCLoop {
+		cfg.ECC = &fleet.ECCPolicy{Threshold: s.ECCThreshold}
+	}
+	cfg.WeakGrowthPerDay = s.WeakCellsPerDay
 
 	// Per-node specs: silicon bins round-robin, window-0 ambient.
 	bins := make([]cpu.PartSpec, len(s.Bins))

@@ -55,6 +55,16 @@ var goldenPresetSHA = map[string]string{
 	// different experiment than a per-node-characterized fleet would
 	// be, hence its own golden.
 	"fleet-100k": "df20689c5310417805c44b08dbed9839027356908485d0934cc0dbc9367101e3",
+	// Adaptive-policy presets, recorded when the predictor-in-the-loop
+	// policies landed (every SHA above was untouched by that PR — the
+	// policy counter lines are fingerprint-silent when the counters are
+	// all zero, which they are for every policy-free preset). At the
+	// test grid drift-cadence shows a mix of triggered and suppressed
+	// campaigns and ecc-closedloop shows both undervolt steps and
+	// backoffs, so the goldens pin real policy decisions, not idle
+	// controllers.
+	"drift-cadence":  "d8074be47df3d35dc4763f8e9b5942fe056065474744d010f01e60f0fed5ea1a",
+	"ecc-closedloop": "dfe7a64d79bb7382edb7247e28c18d5dea38bb17dfb5e03a1da548df6c545a82",
 }
 
 // TestPresetDeterminismAcrossWorkerCounts is the scenario layer's
@@ -104,15 +114,17 @@ func TestPresetDeterminismAcrossWorkerCounts(t *testing.T) {
 // shard count, like worker count, never changes results. Every
 // (shards, workers) cell of a representative preset slice — the plain
 // homogeneous fleet, the heterogeneous-bin fleet, the lifetime
-// scenario, and the archetype-clone population preset (whose pinned
-// shard count the cells deliberately override) — must reproduce the
-// recorded preset golden byte for byte. Run with -race: the shard
-// loop's worker pools are exactly where an ordering bug would race.
+// scenario, the archetype-clone population preset (whose pinned
+// shard count the cells deliberately override), and the two
+// adaptive-policy presets (whose per-node policy state must fold
+// through the shard merge untouched) — must reproduce the recorded
+// preset golden byte for byte. Run with -race: the shard loop's
+// worker pools are exactly where an ordering bug would race.
 func TestShardInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fleet characterization is slow; skipping in -short")
 	}
-	for _, name := range []string{"baseline", "hetero-bins", "aging-year", "fleet-100k"} {
+	for _, name := range []string{"baseline", "hetero-bins", "aging-year", "fleet-100k", "drift-cadence", "ecc-closedloop"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -150,6 +162,73 @@ func TestShardInvariance(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDriftZeroMarginEqualsPlainCadence pins the drift gate's
+// degenerate case, the acceptance criterion for the policy layer: at
+// MarginFrac = 0 every scheduled campaign's drift (aging is monotone,
+// so drift >= 0) clears the threshold, the gate always opens, and the
+// run must reproduce the plain fixed-cadence schedule exactly — same
+// campaigns in the same epochs on every node, and a fingerprint that
+// differs from the ungated run ONLY by the policy counter lines the
+// nonzero RecharTriggered counter turns on. Stripping those lines
+// must give the plain run's fingerprint byte for byte.
+func TestDriftZeroMarginEqualsPlainCadence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet characterization is slow; skipping in -short")
+	}
+	preset, err := ByName("recharact-1mo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := preset.Scale(testNodes, testWindows)
+	cfg, err := s.FleetConfig(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := fleet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := cfg
+	gated.Drift = &fleet.DriftPolicy{MarginFrac: 0}
+	drift, err := fleet.Run(gated)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if drift.RecharSuppressed != 0 {
+		t.Errorf("zero-margin gate suppressed %d campaigns; it must never close", drift.RecharSuppressed)
+	}
+	if drift.RecharTriggered == 0 {
+		t.Error("zero-margin gate recorded no triggered campaigns; the gate never consulted the predictor")
+	}
+	if drift.Recharacterized != plain.Recharacterized {
+		t.Errorf("campaign counts diverged: %d gated vs %d plain", drift.Recharacterized, plain.Recharacterized)
+	}
+	for i := range plain.PerNode {
+		p, d := plain.PerNode[i], drift.PerNode[i]
+		if p.Recharacterized != d.Recharacterized {
+			t.Errorf("node %s: %d campaigns gated vs %d plain", p.Name, d.Recharacterized, p.Recharacterized)
+		}
+		for e := range p.Epochs {
+			if p.Epochs[e] != d.Epochs[e] {
+				t.Errorf("node %s epoch %d trajectory diverged under the zero-margin gate", p.Name, e)
+			}
+		}
+	}
+
+	var stripped strings.Builder
+	for _, line := range strings.SplitAfter(drift.Fingerprint(), "\n") {
+		if strings.HasPrefix(line, "policy ") || strings.Contains(line, " policy ") {
+			continue
+		}
+		stripped.WriteString(line)
+	}
+	if stripped.String() != plain.Fingerprint() {
+		t.Fatalf("zero-margin drift run is not the plain cadence plus counter lines:\n--- plain ---\n%s--- gated, policy lines stripped ---\n%s",
+			plain.Fingerprint(), stripped.String())
 	}
 }
 

@@ -238,6 +238,17 @@ func (d *Daemon) SetPeriod(p time.Duration) {
 	d.period = p
 }
 
+// SkipPeriodic consumes the current periodic slot without running a
+// campaign: lastRun advances to now, so DuePeriodic stays false until
+// a full period elapses again. This is how a drift policy declines a
+// scheduled campaign — the skipped slot waits for the next cadence
+// tick instead of re-arming on every window.
+func (d *Daemon) SkipPeriodic() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastRun = d.clock.Now()
+}
+
 // LastRun returns when the last campaign published its margin vector
 // (the zero time before any campaign has run).
 func (d *Daemon) LastRun() time.Time {
