@@ -551,6 +551,18 @@ func BenchmarkFleetRuntime(b *testing.B) {
 				Variants:    hist.Legacy.Variants,
 			})
 		}
+		// Efficiency fence: the max-worker variant's parallel efficiency
+		// (speedup ÷ workers) may not drop more than 15% below the most
+		// recent record of the same GOMAXPROCS and environment class —
+		// the regression gate behind the coordinator-pipelining work,
+		// fatal under CI on the full-core leg, a warning interactively.
+		// ns/op alone would miss this failure mode: a uniformly-slower
+		// build keeps its efficiency, while a new serial phase or lock
+		// shows up here first. Calibration re-runs are exempt, like the
+		// campaign gate's.
+		if _, rerun := benchRecordSlot["BENCH_fleet.json"]; !rerun {
+			checkEfficiencyFence(b, hist.Records, variants)
+		}
 		hist.Benchmark = "BenchmarkFleetRuntime"
 		hist.Nodes, hist.Windows = benchNodes, benchWindows
 		hist.Records = appendBenchRecord("BENCH_fleet.json", hist.Records, fleetBenchRecord{
@@ -562,6 +574,67 @@ func BenchmarkFleetRuntime(b *testing.B) {
 		})
 		hist.Legacy = legacyFleetRecord{}
 		writeBenchHistory(b, "BENCH_fleet.json", hist)
+	}
+}
+
+// efficiencyTolerance is the floor of the parallel-efficiency fence:
+// the max-worker variant's speedup/worker may fall to 85% of the
+// previous comparable record's before the benchmark is treated as a
+// scaling regression (>15% drop fails). Wall-clock noise largely
+// cancels out of the ratio — both legs ran in the same process — so
+// the fence is tighter than the 20% ns/op gate.
+const efficiencyTolerance = 0.85
+
+// maxWorkerEfficiency extracts the highest-worker-count variant's
+// efficiency from a variant set, deriving it from speedup for records
+// that predate the efficiency field. Returns zeros on empty sets.
+func maxWorkerEfficiency(vs []variant) (workers int, eff float64) {
+	for _, v := range vs {
+		if v.Workers <= workers {
+			continue
+		}
+		workers = v.Workers
+		eff = v.Efficiency
+		if eff == 0 && v.Workers > 0 {
+			eff = v.Speedup / float64(v.Workers)
+		}
+	}
+	return workers, eff
+}
+
+// checkEfficiencyFence compares this run's max-worker efficiency
+// against the most recent history record of the same GOMAXPROCS and
+// environment class (records without an env stamp are the committed
+// "local" reference numbers). A >15% drop is fatal under CI and a
+// warning interactively. Records measured at a different max worker
+// count don't gate — their efficiency is not comparable.
+func checkEfficiencyFence(b *testing.B, records []fleetBenchRecord, current []variant) {
+	workers, eff := maxWorkerEfficiency(current)
+	if workers == 0 || eff <= 0 {
+		return
+	}
+	for i := len(records) - 1; i >= 0; i-- {
+		prev := records[i]
+		prevEnv := prev.Env
+		if prevEnv == "" {
+			prevEnv = "local"
+		}
+		if prev.GOMAXPROCS != runtime.GOMAXPROCS(0) || prevEnv != benchEnv() {
+			continue
+		}
+		prevWorkers, prevEff := maxWorkerEfficiency(prev.Variants)
+		if prevWorkers != workers || prevEff <= 0 {
+			return
+		}
+		if eff < prevEff*efficiencyTolerance {
+			msg := fmt.Sprintf("parallel efficiency regressed: %d-worker speedup/worker %.3f vs %.3f in the previous record (GOMAXPROCS=%d env=%s, recorded %s) — a new serial phase or lock contention, not plain slowness",
+				workers, eff, prevEff, prev.GOMAXPROCS, prevEnv, prev.Date)
+			if os.Getenv("CI") != "" {
+				b.Fatal(msg)
+			}
+			b.Logf("WARNING: %s (non-fatal outside CI)", msg)
+		}
+		return
 	}
 }
 

@@ -109,9 +109,9 @@ func renderFleet(out io.Writer, path string) error {
 		return err
 	}
 	fmt.Fprintf(out, "\n## %s (%d nodes × %d windows)\n\n", f.Benchmark, f.Nodes, f.Windows)
-	fmt.Fprintf(out, "| run | date | env | gomaxprocs | ns/op @1w | best ns/op | best speedup | efficiency | peak heap |\n")
-	fmt.Fprintf(out, "|----:|------|-----|-----------:|----------:|-----------:|-------------:|-----------:|----------:|\n")
-	var series []float64
+	fmt.Fprintf(out, "| run | date | env | gomaxprocs | ns/op @1w | best ns/op | best speedup | efficiency | scaling | peak heap |\n")
+	fmt.Fprintf(out, "|----:|------|-----|-----------:|----------:|-----------:|-------------:|-----------:|---------|----------:|\n")
+	var series, effSeries []float64
 	for i, r := range f.Records {
 		var oneW, best int64
 		var bestSpeed float64
@@ -123,6 +123,12 @@ func renderFleet(out io.Writer, path string) error {
 		var maxWorkers int
 		var eff float64
 		var peak int64
+		// recordEffs is the record's efficiency at each worker count, in
+		// variant order — the per-record scaling curve. Rendered on an
+		// absolute 0..1 scale (1.0 = perfect scaling) so the curves are
+		// comparable across rows: a record whose glyphs sag left-to-right
+		// is losing efficiency as workers are added.
+		var recordEffs []float64
 		for _, v := range r.Variants {
 			if v.Workers == 1 {
 				oneW = v.NsPerOp
@@ -133,21 +139,26 @@ func renderFleet(out io.Writer, path string) error {
 			if v.Speedup > bestSpeed {
 				bestSpeed = v.Speedup
 			}
+			ve := v.Efficiency
+			if ve == 0 && v.Workers > 0 {
+				ve = v.Speedup / float64(v.Workers)
+			}
+			recordEffs = append(recordEffs, ve)
 			if v.Workers > maxWorkers {
 				maxWorkers = v.Workers
-				eff = v.Efficiency
-				if eff == 0 && v.Workers > 0 {
-					eff = v.Speedup / float64(v.Workers)
-				}
+				eff = ve
 				peak = v.PeakBytes
 			}
 		}
-		fmt.Fprintf(out, "| %d | %s | %s | %d | %s | %s | %.2fx | %.2f @%dw | %s |\n",
+		fmt.Fprintf(out, "| %d | %s | %s | %d | %s | %s | %.2fx | %.2f @%dw | `%s` | %s |\n",
 			i+1, orDash(r.Date), orDash(r.Env), r.GOMAXPROCS, ns(oneW), ns(best), bestSpeed,
-			eff, maxWorkers, mib(peak))
+			eff, maxWorkers, absSparkline(recordEffs, 0, 1), mib(peak))
 		series = append(series, float64(oneW))
+		effSeries = append(effSeries, eff)
 	}
 	fmt.Fprintf(out, "\nns/op @1 worker, run over run (lower is better):\n\n    %s\n", sparkline(series))
+	fmt.Fprintf(out, "\nmax-worker parallel efficiency (speedup/worker), run over run on a 0..1 scale (higher is better):\n\n    %s\n",
+		absSparkline(effSeries, 0, 1))
 	return nil
 }
 
@@ -192,6 +203,28 @@ func orDash(s string) string {
 		return "—"
 	}
 	return s
+}
+
+// absSparkline draws the series on a fixed lo..hi scale (values
+// clamped), so separately-rendered lines are directly comparable —
+// used for efficiency, whose natural scale is 0..1.
+func absSparkline(series []float64, lo, hi float64) string {
+	if len(series) == 0 {
+		return "(no records)"
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range series {
+		frac := (v - lo) / (hi - lo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		b.WriteRune(glyphs[int(frac*float64(len(glyphs)-1))])
+	}
+	return b.String()
 }
 
 // sparkline draws the series with the classic eight block glyphs,

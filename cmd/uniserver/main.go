@@ -41,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -119,6 +120,12 @@ func run() error {
 		"fleet lifetime: drift-gate scheduled re-characterizations — run one only when predicted margin drift since the last campaign exceeds this fraction of the advised headroom (0 = always run, i.e. the plain cadence; negative = off)")
 	eccLoop := flag.Bool("ecc-loop", false,
 		"fleet mode: closed-loop undervolting — each node steps its point below the advised one while correctable ECC stays quiet and backs off on onset")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a CPU profile to this file (pprof format); covers the whole run, any mode")
+	memProfile := flag.String("memprofile", "",
+		"write a heap profile to this file at exit (after a final GC), for peak-memory and allocation analysis")
+	mutexProfile := flag.String("mutexprofile", "",
+		"write a mutex-contention profile to this file at exit — the parallel-efficiency tool: it names the locks workers serialize on")
 	flag.Parse()
 
 	// Which flags did the user set explicitly? -nodes/-windows double
@@ -237,6 +244,21 @@ func run() error {
 		plan = &p
 	}
 
+	// Profiling hooks: armed before any simulation work so the CPU
+	// profile covers characterization through replay. The deferred stop
+	// runs on every exit path; profile-write failures warn rather than
+	// change the run's exit code — the simulation result is already
+	// correct.
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile, *mutexProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Printf("WARNING: %v", err)
+		}
+	}()
+
 	// The health log must be closed (flushing the JSON lines) on every
 	// exit path, including errors — hence the run()/error shape instead
 	// of log.Fatal, which would skip deferred closes.
@@ -317,6 +339,70 @@ func run() error {
 // parseLifetime turns the -lifetime 'EPOCHSxGAPDAYS' spec plus the
 // cadence flags into a core plan: uniform epochs of `windows` windows
 // each, identical gaps.
+// startProfiles arms the requested pprof outputs and returns the
+// teardown that writes and closes them. CPU profiling streams from
+// start; the heap profile snapshots at stop (after a forced GC, so it
+// reflects live objects, not garbage); mutex profiling samples lock
+// contention from start and dumps at stop. An empty path disables that
+// profile. The returned stop is safe to call exactly once.
+func startProfiles(cpuPath, memPath, mutexPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %v", err)
+		}
+	}
+	if mutexPath != "" {
+		// Sample every contention event: simulator runs hold locks rarely
+		// enough that full sampling is affordable, and an efficiency
+		// investigation wants the complete picture.
+		runtime.SetMutexProfileFraction(1)
+	}
+	return func() error {
+		var errs []error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("cpuprofile: %v", err))
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("memprofile: %v", err))
+			} else {
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					errs = append(errs, fmt.Errorf("memprofile: %v", err))
+				}
+				if err := f.Close(); err != nil {
+					errs = append(errs, fmt.Errorf("memprofile: %v", err))
+				}
+			}
+		}
+		if mutexPath != "" {
+			f, err := os.Create(mutexPath)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("mutexprofile: %v", err))
+			} else {
+				if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+					errs = append(errs, fmt.Errorf("mutexprofile: %v", err))
+				}
+				if err := f.Close(); err != nil {
+					errs = append(errs, fmt.Errorf("mutexprofile: %v", err))
+				}
+			}
+			runtime.SetMutexProfileFraction(0)
+		}
+		return errors.Join(errs...)
+	}, nil
+}
+
 func parseLifetime(spec string, windows int, duty float64, recharactDays int) (core.LifetimePlan, error) {
 	parts := strings.SplitN(spec, "x", 2)
 	if len(parts) != 2 {
@@ -563,6 +649,10 @@ func runCampaignCLI(ctx context.Context, out io.Writer, o campaignOpts) error {
 		}
 		fmt.Fprintf(out, "snapshot cache: %d hits / %d misses across %d-way parallel cells (%.1fx characterization reuse)\n",
 			hits, misses, rep.EffectiveParallel, reuse)
+		if rep.CharactCoalesced > 0 {
+			fmt.Fprintf(out, "snapshot cache: %d concurrent misses coalesced onto in-flight characterizations\n",
+				rep.CharactCoalesced)
+		}
 		if o.charactDir != "" {
 			fmt.Fprintf(out, "snapshot cache dir %s: %d entries served from disk (characterizations shared across processes)\n",
 				o.charactDir, rep.CharactDiskHits)

@@ -20,32 +20,49 @@ import (
 // is the biggest campaign-cost multiplier: a scenario×seed grid
 // re-characterized each seed's spec set once per scenario.
 //
-// The cache is safe for concurrent use from any number of fleet runs.
-// Each key is characterized exactly once (later arrivals block on the
-// in-flight characterization rather than duplicating it), and because
+// The cache is safe for concurrent use from any number of fleet runs,
+// and it is contention-free by construction: entries live in a
+// sync.Map (hits never take a lock), and each entry is a per-key
+// singleflight — the first arrival characterizes, duplicate arrivals
+// on the same in-flight key coalesce onto that one run (counted in
+// Stats.Coalesced) instead of duplicating it, and misses on distinct
+// keys characterize fully in parallel. Disk-spill I/O happens after
+// the entry publishes, so coalesced waiters are released while the
+// characterizing goroutine is still writing the spill file. Because
 // characterization is a pure function of the key — the excluded spec
 // fields only shape what happens after Restore — results are
-// byte-identical no matter which cell populates an entry first, at any
-// worker count or campaign parallelism.
+// byte-identical no matter which consumer populates an entry first, at
+// any worker count or campaign parallelism: who computes a key is
+// unobservable in the results.
 type CharactCache struct {
-	mu      sync.Mutex
-	entries map[string]*charactEntry
+	// entries maps key → *charactEntry. A sync.Map instead of a
+	// mutex-guarded map because the steady state of a campaign is
+	// read-mostly (every node of every cell probes the cache; only the
+	// first consumer per key writes), which is exactly the sync.Map
+	// sweet spot — the hot hit path is lock-free.
+	entries sync.Map
 
 	// dir, when non-empty, roots the on-disk spill (diskcache.go):
 	// characterized snapshots persist across processes, and keys not
-	// yet seen in memory are first sought on disk. diskErr retains the
-	// first best-effort spill failure for the CLI to surface.
-	dir     string
-	diskErr error
+	// yet seen in memory are first sought on disk. Held in an
+	// atomic.Value so worker goroutines never contend on a lock just
+	// to learn whether spilling is enabled.
+	dir atomic.Value // string
 
-	hits, misses, diskHits atomic.Uint64
+	// diskErr retains the first best-effort spill failure for the CLI
+	// to surface; its mutex is touched only on the (rare) error path.
+	diskErrMu sync.Mutex
+	diskErr   error
+
+	hits, misses, coalesced, diskHits atomic.Uint64
 }
 
-// charactEntry is one key's characterization outcome. once gates the
-// single characterization run; the remaining fields are written inside
-// it and read-only afterwards.
+// charactEntry is one key's singleflight slot. The creating goroutine
+// writes the result fields and then closes done; everyone else waits
+// on done and reads the fields afterwards (the channel close is the
+// happens-before edge). Fields are read-only once done is closed.
 type charactEntry struct {
-	once sync.Once
+	done chan struct{}
 	snap *core.Snapshot
 	pre  core.PreDeploymentReport
 	log  []byte
@@ -54,39 +71,50 @@ type charactEntry struct {
 
 // NewCharactCache returns an empty cache.
 func NewCharactCache() *CharactCache {
-	return &CharactCache{entries: make(map[string]*charactEntry)}
+	return &CharactCache{}
 }
 
 // CacheStats counts cache outcomes: a miss is a characterization
 // actually run, a hit is a node served from an in-memory snapshot,
 // and a disk hit is a key's first consumer served from the attached
-// spill directory instead of re-running the campaign.
+// spill directory instead of re-running the campaign. Coalesced is
+// the subset of hits that arrived while the key's characterization
+// was still in flight and blocked on it instead of duplicating it.
+// Hits, misses and disk hits are deterministic functions of the run
+// (misses = distinct keys characterized); Coalesced depends on
+// goroutine timing and is execution telemetry, like wall-clock.
 type CacheStats struct {
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	DiskHits uint64 `json:"disk_hits,omitempty"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced,omitempty"`
+	DiskHits  uint64 `json:"disk_hits,omitempty"`
 }
 
-// Stats returns the cache's hit/miss counters.
+// Stats returns the cache's hit/miss/coalesced counters.
 func (c *CharactCache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), DiskHits: c.diskHits.Load()}
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		DiskHits:  c.diskHits.Load(),
+	}
 }
 
-// entry returns (creating if needed) the slot for key.
-func (c *CharactCache) entry(key string) *charactEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e := c.entries[key]
-	if e == nil {
-		e = &charactEntry{}
-		c.entries[key] = e
+// entry returns key's singleflight slot and whether this caller
+// created it (and therefore owns running the characterization).
+func (c *CharactCache) entry(key string) (*charactEntry, bool) {
+	if v, ok := c.entries.Load(key); ok {
+		return v.(*charactEntry), false
 	}
-	return e
+	v, loaded := c.entries.LoadOrStore(key, &charactEntry{done: make(chan struct{})})
+	return v.(*charactEntry), !loaded
 }
 
 // characterized returns the snapshot, characterization report and
 // captured health-log bytes for key, invoking characterize at most
-// once per key across all goroutines. When wantLog is set the
+// once per key across all goroutines: the entry's creator runs it,
+// duplicate concurrent arrivals coalesce onto the in-flight run, and
+// later arrivals are plain hits. When wantLog is set the
 // characterization writes its health log into a cache-owned buffer
 // whose bytes every consumer replays into its own node log — the
 // lines are identical to what a fresh characterization would have
@@ -94,20 +122,34 @@ func (c *CharactCache) entry(key string) *charactEntry {
 func (c *CharactCache) characterized(key string, wantLog bool,
 	characterize func(out io.Writer) (*core.Ecosystem, core.PreDeploymentReport, error),
 ) (*core.Snapshot, core.PreDeploymentReport, []byte, error) {
-	e := c.entry(key)
-	ran, fromDisk := false, false
-	e.once.Do(func() {
-		ran = true
-		// The attached spill directory serves a key's first consumer
-		// in this process when another process already characterized
-		// it; anything unreadable falls through to a fresh run.
-		if c.spillDir() != "" {
-			if snap, pre, log, ok := c.loadDisk(key); ok {
-				fromDisk = true
-				e.snap, e.pre, e.log = snap, pre, log
-				return
-			}
+	e, creator := c.entry(key)
+	if !creator {
+		// Served from the cache. Distinguish a completed entry (plain
+		// hit) from an in-flight one (coalesced: we block on the single
+		// characterization instead of running our own). The distinction
+		// is timing-dependent telemetry; the total hit count is not.
+		select {
+		case <-e.done:
+		default:
+			c.coalesced.Add(1)
+			<-e.done
 		}
+		c.hits.Add(1)
+		return e.snap, e.pre, e.log, e.err
+	}
+
+	// This goroutine owns the key's one characterization. The attached
+	// spill directory serves a key's first consumer in this process
+	// when another process already characterized it; anything
+	// unreadable falls through to a fresh run.
+	fromDisk := false
+	if c.spillDir() != "" {
+		if snap, pre, log, ok := c.loadDisk(key); ok {
+			fromDisk = true
+			e.snap, e.pre, e.log = snap, pre, log
+		}
+	}
+	if !fromDisk {
 		var buf *bytes.Buffer
 		var out io.Writer
 		if wantLog {
@@ -115,30 +157,30 @@ func (c *CharactCache) characterized(key string, wantLog bool,
 			out = buf
 		}
 		eco, pre, err := characterize(out)
-		if err != nil {
-			e.err = err
-			return
+		if err == nil {
+			var snap *core.Snapshot
+			snap, err = eco.Snapshot()
+			if err == nil {
+				e.snap, e.pre = snap, pre
+				if buf != nil {
+					e.log = buf.Bytes()
+				}
+			}
 		}
-		snap, err := eco.Snapshot()
-		if err != nil {
-			e.err = err
-			return
-		}
-		e.snap, e.pre = snap, pre
-		if buf != nil {
-			e.log = buf.Bytes()
-		}
-		if c.spillDir() != "" {
-			c.spillDisk(key, snap, pre, e.log)
-		}
-	})
-	switch {
-	case ran && fromDisk:
+		e.err = err
+	}
+	// Publish before spilling: closing done releases every coalesced
+	// waiter, so the disk write below happens outside the key's
+	// critical section — waiters restore snapshots while the creator
+	// is still persisting the entry.
+	close(e.done)
+	if fromDisk {
 		c.diskHits.Add(1)
-	case ran:
+	} else {
 		c.misses.Add(1)
-	default:
-		c.hits.Add(1)
+		if e.err == nil && c.spillDir() != "" {
+			c.spillDisk(key, e.snap, e.pre, e.log)
+		}
 	}
 	return e.snap, e.pre, e.log, e.err
 }

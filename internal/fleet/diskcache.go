@@ -51,9 +51,7 @@ func (c *CharactCache) AttachDir(dir string) error {
 	} else {
 		return fmt.Errorf("fleet: reading characterization cache version: %w", err)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.dir = dir
+	c.dir.Store(dir)
 	return nil
 }
 
@@ -68,13 +66,14 @@ type diskEntryState struct {
 	Log      []byte
 }
 
-// spillDir returns the attached spill directory ("" when disabled)
-// under the cache lock, so worker goroutines and a late AttachDir
-// cannot race.
+// spillDir returns the attached spill directory ("" when disabled).
+// The atomic load keeps worker goroutines and a late AttachDir from
+// racing without putting a lock on the characterization path.
 func (c *CharactCache) spillDir() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dir
+	if d, ok := c.dir.Load().(string); ok {
+		return d
+	}
+	return ""
 }
 
 // entryPath maps a cache key to its spill file.
@@ -139,8 +138,8 @@ func (c *CharactCache) spillDisk(key string, snap *core.Snapshot, pre core.PreDe
 
 // noteDiskErr retains the first spill failure.
 func (c *CharactCache) noteDiskErr(err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.diskErrMu.Lock()
+	defer c.diskErrMu.Unlock()
 	if c.diskErr == nil {
 		c.diskErr = err
 	}
@@ -150,7 +149,7 @@ func (c *CharactCache) noteDiskErr(err error) {
 // best effort — results are unaffected — but a CLI should tell the
 // operator their cache directory is not accumulating.
 func (c *CharactCache) DiskErr() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.diskErrMu.Lock()
+	defer c.diskErrMu.Unlock()
 	return c.diskErr
 }

@@ -6,23 +6,28 @@
 // cloud export, then the full window sequence, buffering a compact
 // health record per window — after which the node's ecosystem is
 // dropped and only its summary, health records and exported cloud node
-// survive. The coordinator then replays the recorded health into the
+// survive. A replay goroutine feeds the recorded health into the
 // openstack.Manager scheduler in window order (reliability metric,
-// proactive migration, SLA accounting). Batching is legal because node
+// proactive migration, SLA accounting), pipelined against compute:
+// window w replays the moment every node has buffered it, while later
+// windows are still stepping. Batching is legal because node
 // simulations never read cloud-layer state: the replay feeds the
 // manager byte-identical inputs, in the identical order, as a
-// per-window barrier would, at a fraction of the synchronization cost.
+// per-window barrier would, at a fraction of the synchronization cost
+// — and pipelining is legal for the same reason, since consuming a
+// completed window can never perturb the windows still computing.
 //
 // The fused lifecycle is what bounds memory: at most `workers` full
 // ecosystems are alive at any instant, independent of fleet size, so
 // peak heap scales as workers × ecosystem-size plus O(nodes) compact
 // state (health records, summaries, exported cloud nodes) — which is
 // what makes O(100k)-node populations runnable. Config.Shards
-// partitions the node range into contiguous batches run one after
-// another, bounding the coordinator's unfolded-summary backlog to one
-// shard; Config.OnNode streams per-node summaries out instead of
-// retaining them; Config.Archetypes collapses characterization cost
-// from O(nodes) to O(distinct silicon/DRAM bins) by cloning one
+// partitions the node range into contiguous batches dispatched in
+// order, bounding the coordinator's unfolded-summary backlog to two
+// shards (the shard being folded and the one computing behind it);
+// Config.OnNode streams per-node summaries out instead of retaining
+// them; Config.Archetypes collapses characterization cost from
+// O(nodes) to O(distinct silicon/DRAM bins) by cloning one
 // characterized snapshot per bin with per-node stream reseating.
 //
 // Determinism is a hard requirement and a structural property, not a
@@ -139,13 +144,15 @@ type Config struct {
 	// instead of drawing their own silicon/DRAM lottery.
 	Archetypes bool
 
-	// Shards partitions the node range into contiguous batches that
-	// execute one after another, each fanned out across the worker
-	// pool. Sharding never changes results — shards fold in shard
+	// Shards partitions the node range into contiguous batches
+	// dispatched in order across the worker pool, each folding as soon
+	// as its last node finishes (shard s folds while shard s+1
+	// computes). Sharding never changes results — shards fold in shard
 	// order and nodes within a shard in node order, reproducing the
 	// unsharded engine's node-order merge exactly — it only bounds the
-	// coordinator's unfolded per-node backlog to one shard and gives
-	// OnNode consumers shard-granular streaming. <= 0 means one shard.
+	// coordinator's unfolded per-node backlog to two in-flight shards
+	// and gives OnNode consumers shard-granular streaming. <= 0 means
+	// one shard.
 	Shards int
 
 	// OnNode, when set, receives each node's finished summary as the
@@ -433,6 +440,12 @@ type Summary struct {
 	Workers   int           `json:"-"`
 	Shards    int           `json:"-"`
 	WallClock time.Duration `json:"-"`
+	// PipelinedWindows counts cloud-layer windows the replay consumed
+	// while some node was still computing — the coordinator-overlap
+	// telemetry behind the parallel-efficiency work. Like WallClock it
+	// describes this execution (scheduling-dependent), not the result,
+	// so it is excluded from Fingerprint and JSON.
+	PipelinedWindows int `json:"-"`
 }
 
 // Fingerprint serializes every deterministic field. Two runs of the
@@ -643,11 +656,15 @@ func (s *nodeState) characterizeArchetype(cache *CharactCache, fleetSeed uint64,
 	return eco, pre, nil
 }
 
-// Run executes a full fleet lifecycle: per shard, every node's fused
-// characterize→deploy→step task fans out across the worker pool and
-// the shard folds into the summary; then the coordinator assembles the
-// cluster, streams the VM arrivals and replays the buffered health
-// into the cloud layer window by window.
+// Run executes a full fleet lifecycle: every node's fused
+// characterize→deploy→step task fans out across a persistent worker
+// pool in shard order; the coordinator folds each shard into the
+// summary the moment its last node finishes; and a replay goroutine
+// assembles the cluster, streams the VM arrivals and feeds the
+// buffered health into the cloud layer window by window as windows
+// complete — all three overlapped, all three order-preserving, so
+// results are byte-identical to the strictly-phased engine at any
+// worker and shard count.
 func Run(cfg Config) (Summary, error) {
 	start := time.Now()
 	if cfg.Nodes <= 0 {
@@ -686,6 +703,58 @@ func Run(cfg Config) (Summary, error) {
 	}
 
 	wantLog := cfg.HealthLogOut != nil
+
+	// The pipeline's progress ledger. Workers publish progress through
+	// atomic counters (per-window arrival, cloud exports, per-shard
+	// completion) and ring the one condition variable only on the
+	// *last* arrival of each kind — O(windows + shards) broadcasts for
+	// the whole run, not O(nodes × windows) — while the coordinator's
+	// fold loop, the dispatcher and the replay goroutine wait on the
+	// gate for the specific counter they need. The atomic
+	// read-modify-writes form the happens-before chain that makes the
+	// buffered health and exported nodes safely visible to the replay
+	// goroutine (and keeps the whole structure -race-clean).
+	var (
+		gateMu sync.Mutex
+		gate   = sync.NewCond(&gateMu)
+		// windowArrived[w] counts nodes that have buffered window w's
+		// health record; the replay goroutine consumes window w once it
+		// reaches cfg.Nodes.
+		windowArrived = make([]atomic.Int32, cfg.Windows)
+		// exportedNodes counts cloud-layer exports; the manager
+		// assembles once it reaches cfg.Nodes.
+		exportedNodes atomic.Int32
+		// finishedNodes counts completed fused tasks — telemetry only
+		// (a replayed window is "pipelined" if some node was still
+		// computing when it replayed).
+		finishedNodes atomic.Int32
+		// shardLeft[s] counts shard s's unfinished nodes; the fold loop
+		// drains shard s when it reaches zero.
+		shardLeft = make([]atomic.Int32, shards)
+		// processedShards counts shards the fold loop has drained
+		// (folded or skipped); the dispatcher uses it to stay at most
+		// two shards ahead of the fold.
+		processedShards atomic.Int32
+		// runFailed flips once on the first node failure so every gate
+		// waiter can abort instead of blocking on progress that will
+		// never come.
+		runFailed atomic.Bool
+	)
+	for sh := 0; sh < shards; sh++ {
+		lo, hi := shardRange(cfg.Nodes, shards, sh)
+		shardLeft[sh].Store(int32(hi - lo))
+	}
+	// notify wakes every gate waiter. Broadcast under the mutex pairs
+	// with the waiters' check-then-Wait loops: a counter that reaches
+	// its target between a waiter's check and its Wait cannot lose the
+	// wakeup, because this broadcast cannot run until the waiter is
+	// parked.
+	notify := func() {
+		gateMu.Lock()
+		gate.Broadcast()
+		gateMu.Unlock()
+	}
+
 	// failFloor is the earliest failing window any node has reported:
 	// once a run is doomed, healthy nodes stop at that window instead
 	// of simulating out their full horizon (their buffered health
@@ -707,9 +776,11 @@ func Run(cfg Config) (Summary, error) {
 		for {
 			cur := failFloor.Load()
 			if int64(w) >= cur || failFloor.CompareAndSwap(cur, int64(w)) {
-				return
+				break
 			}
 		}
+		runFailed.Store(true)
+		notify()
 	}
 
 	// runNode is one node's fused lifecycle — characterization, mode
@@ -768,6 +839,11 @@ func Run(cfg Config) (Summary, error) {
 			return
 		}
 		s.osNode = n
+		if exportedNodes.Add(1) == int32(cfg.Nodes) {
+			// Last export: the replay goroutine can assemble the manager
+			// and start consuming completed windows.
+			notify()
+		}
 
 		// Batched window stepping: the node runs its entire window
 		// sequence here, buffering a compact health record per window.
@@ -777,8 +853,11 @@ func Run(cfg Config) (Summary, error) {
 		// its goroutine churn — without moving a single rng draw. The
 		// scenario interventions land immediately before the window they
 		// target: Perturb is pure in (i, w) and touches only node i's
-		// state.
-		s.health = make([]epochHealth, 0, cfg.Windows)
+		// state. The buffer is allocated full-length up front and
+		// written by index: the replay goroutine reads s.health[w]
+		// concurrently (gated on windowArrived[w]), so the slice header
+		// must never move again once the first window publishes.
+		s.health = make([]epochHealth, cfg.Windows)
 		stepWindow := func(w int) bool {
 			if earlyExit && int64(w) >= failFloor.Load() {
 				return false
@@ -808,12 +887,17 @@ func Run(cfg Config) (Summary, error) {
 				failNode(w, fmt.Errorf("fleet: node %d window %d: %w", i, w, err))
 				return false
 			}
-			s.health = append(s.health, epochHealth{
+			s.health[w] = epochHealth{
 				failProb:     fp,
 				correctable:  int32(rep.Correctable),
 				thermalAlarm: uint8(rep.ThermalAlarm),
 				crashed:      rep.Crashed,
-			})
+			}
+			if windowArrived[w].Add(1) == int32(cfg.Nodes) {
+				// Last node to buffer window w: the replay goroutine can
+				// consume it while later windows are still computing.
+				notify()
+			}
 			return true
 		}
 		// The lifetime axis: each epoch batches its windows exactly as
@@ -942,38 +1026,215 @@ func Run(cfg Config) (Summary, error) {
 		sum.PerNode = append(sum.PerNode, ns)
 	}
 
-	// Shards execute strictly in shard order, each fanning its node
-	// range across the worker pool; after a shard's join the
-	// coordinator folds its nodes in node order. A shard whose range
-	// (or any earlier shard) holds a failed node is left unfolded — the
-	// run is doomed and returns the earliest failure below — so OnNode
-	// consumers only ever see summaries from the error-free prefix.
-	failed := false
-	for sh := 0; sh < shards; sh++ {
-		lo, hi := shardRange(cfg.Nodes, shards, sh)
-		forEachNode(workers, hi-lo, func(k int) { runNode(lo + k) })
-		if failed {
-			continue
-		}
-		for i := lo; i < hi; i++ {
-			if states[i].err != nil {
-				failed = true
-				break
+	// ---- Pipelined execution ----
+	//
+	// Three overlapped roles replace the old strictly-phased
+	// compute-then-fold-then-replay sequence, with every ordered
+	// operation still issued from exactly one goroutine in exactly the
+	// old order:
+	//
+	//   dispatcher   feeds node indices to the worker pool in node
+	//                order, shard by shard, staying at most two shards
+	//                ahead of the fold so the unfolded per-node backlog
+	//                (pre-reports, deployment summaries) stays bounded
+	//                by shard size, not fleet size;
+	//   workers      run the fused node tasks (unchanged);
+	//   coordinator  folds shard s in node order the moment its last
+	//                node finishes — while shard s+1 is still
+	//                computing;
+	//   replay       advances the cloud layer through window w the
+	//                moment all nodes have buffered w — while later
+	//                windows are still computing.
+	//
+	// Fingerprint identity is structural: folds still happen shard
+	// order × node order on one goroutine, and the replay still feeds
+	// the manager byte-identical inputs window order × node order on
+	// one goroutine. Only the *interleaving* of those two serial
+	// streams with worker compute changed, and neither stream reads
+	// anything a worker still writes (window gating and the export
+	// count provide the happens-before edges).
+
+	// Replay goroutine: assemble the cluster once every node has
+	// exported, then chase the windowArrived frontier.
+	type replayResult struct {
+		mgr        *openstack.Manager
+		evictedVMs int
+		pipelined  int
+		err        error
+	}
+	replayCh := make(chan replayResult, 1)
+	go func() {
+		var res replayResult
+		defer func() { replayCh <- res }()
+		// Deterministic VM arrival stream for the scheduler to chew on
+		// — an explicit schedule (scenario layers) or the default
+		// exponential stream. Pure function of the Config, so it can
+		// build before the fleet finishes exporting.
+		arrivals := cfg.Arrivals
+		if arrivals == nil {
+			var err error
+			arrivals, err = workload.Stream(cfg.StreamDefaults(), rng.New(cfg.Seed).SplitLabeled("fleet/arrivals"))
+			if err != nil {
+				res.err = err
+				return
 			}
 		}
-		if failed {
-			continue
+		gateMu.Lock()
+		for exportedNodes.Load() < int32(cfg.Nodes) && !runFailed.Load() {
+			gate.Wait()
 		}
-		for i := lo; i < hi; i++ {
-			foldNode(states[i])
+		aborted := exportedNodes.Load() < int32(cfg.Nodes)
+		gateMu.Unlock()
+		if aborted {
+			// A node failed before exporting; the run is doomed and the
+			// coordinator will report the earliest node failure.
+			return
 		}
+		// Cluster assembly in node order.
+		osNodes := make([]*openstack.Node, len(states))
+		for i, s := range states {
+			osNodes[i] = s.osNode
+		}
+		mgr, err := openstack.NewManager(cfg.Policy, osNodes...)
+		if err != nil {
+			res.err = err
+			return
+		}
+		res.mgr = mgr
+		// The replay advances the cloud layer in window order over the
+		// buffered health: arrivals and departures resolve before each
+		// epoch (so newly placed VMs are exposed to that window's
+		// crash/migration outcome, as in the stream simulator), then
+		// the epoch's health lands in the scheduler in node order. The
+		// manager sees byte-identical inputs in the identical order as
+		// under per-window barriers — and as at any other worker or
+		// shard count — because window w is consumed only after every
+		// node has buffered it.
+		cursor := openstack.NewStreamCursor(arrivals)
+		health := make([]openstack.NodeHealth, len(states))
+		for w := 0; w < cfg.Windows; w++ {
+			gateMu.Lock()
+			for windowArrived[w].Load() < int32(cfg.Nodes) && !runFailed.Load() {
+				gate.Wait()
+			}
+			aborted := windowArrived[w].Load() < int32(cfg.Nodes)
+			gateMu.Unlock()
+			if aborted {
+				// Some node failed at or before w and will never buffer
+				// it; the manager's partial replay is discarded.
+				return
+			}
+			if finishedNodes.Load() < int32(cfg.Nodes) {
+				res.pipelined++
+			}
+			now := time.Duration(w) * time.Minute
+			cursor.Advance(mgr, now)
+			for i, s := range states {
+				h := s.health[w]
+				health[i] = openstack.NodeHealth{
+					Name:         s.name,
+					FailProb:     h.failProb,
+					Crashed:      h.crashed,
+					Correctable:  int(h.correctable),
+					ThermalAlarm: int(h.thermalAlarm),
+				}
+			}
+			stats, err := mgr.StepFleet(health, time.Minute, now, cfg.Repair)
+			if err != nil {
+				res.err = err
+				return
+			}
+			res.evictedVMs += stats.EvictedVMs
+		}
+	}()
+
+	// Worker pool: persistent across shards (no per-shard goroutine
+	// churn or join barrier), consuming node indices in dispatch order.
+	type job struct{ node, shard int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				runNode(j.node)
+				finishedNodes.Add(1)
+				if shardLeft[j.shard].Add(-1) == 0 {
+					// Last node of the shard: the fold loop can drain it.
+					notify()
+				}
+			}
+		}()
 	}
+
+	// Dispatcher: node order, shard by shard, gated two shards ahead of
+	// the fold. Waiting on processedShards (not mere shard completion)
+	// keeps at most two shards' unfolded state alive — the computing
+	// shard and the one the coordinator is folding — preserving the
+	// bounded-backlog property the 100k-node scale-out relies on, while
+	// never idling the pool at a shard boundary the way the old
+	// per-shard join barrier did.
+	go func() {
+		defer close(jobs)
+		for sh := 0; sh < shards; sh++ {
+			if sh >= 2 {
+				gateMu.Lock()
+				for processedShards.Load() < int32(sh-1) && !runFailed.Load() {
+					gate.Wait()
+				}
+				gateMu.Unlock()
+			}
+			lo, hi := shardRange(cfg.Nodes, shards, sh)
+			for i := lo; i < hi; i++ {
+				jobs <- job{node: i, shard: sh}
+			}
+		}
+	}()
+
+	// Fold loop (coordinator): shards drain strictly in shard order,
+	// nodes within a shard in node order, exactly as the phased engine
+	// folded them. A shard whose range (or any earlier shard) holds a
+	// failed node is left unfolded — the run is doomed and returns the
+	// earliest failure below — so OnNode consumers only ever see
+	// summaries from the error-free prefix.
+	failed := false
+	for sh := 0; sh < shards; sh++ {
+		gateMu.Lock()
+		for shardLeft[sh].Load() > 0 {
+			gate.Wait()
+		}
+		gateMu.Unlock()
+		if !failed {
+			lo, hi := shardRange(cfg.Nodes, shards, sh)
+			for i := lo; i < hi; i++ {
+				if states[i].err != nil {
+					failed = true
+					break
+				}
+			}
+			if !failed {
+				for i := lo; i < hi; i++ {
+					foldNode(states[i])
+				}
+			}
+		}
+		processedShards.Add(1)
+		notify()
+	}
+	wg.Wait()
+
+	// Join the replay before touching any error path: after this
+	// receive no goroutine of this run is live.
+	rr := <-replayCh
 	if failed {
 		// Earliest failing window wins; ties resolve to the lowest node
 		// index (states are scanned in node order). Pre-deployment
 		// failures carry charactWindow and therefore outrank every
 		// stepping failure, exactly as when characterization was a
-		// separate phase.
+		// separate phase — and exactly as when replay errors could not
+		// coexist with node failures: a doomed run reports its node
+		// failure, never the aborted replay.
 		failWindow, failErr := cfg.Windows, error(nil)
 		for _, s := range states {
 			if s.err != nil && s.errWindow < failWindow {
@@ -982,58 +1243,10 @@ func Run(cfg Config) (Summary, error) {
 		}
 		return fail(failErr)
 	}
-
-	// Cluster assembly on the coordinator, in node order.
-	osNodes := make([]*openstack.Node, len(states))
-	for i, s := range states {
-		osNodes[i] = s.osNode
+	if rr.err != nil {
+		return fail(rr.err)
 	}
-	mgr, err := openstack.NewManager(cfg.Policy, osNodes...)
-	if err != nil {
-		return fail(err)
-	}
-
-	// Deterministic VM arrival stream for the scheduler to chew on —
-	// an explicit schedule (scenario layers) or the default
-	// exponential stream.
-	arrivals := cfg.Arrivals
-	if arrivals == nil {
-		var err error
-		arrivals, err = workload.Stream(cfg.StreamDefaults(), rng.New(cfg.Seed).SplitLabeled("fleet/arrivals"))
-		if err != nil {
-			return fail(err)
-		}
-	}
-
-	// The coordinator replays the cloud layer in window order over the
-	// buffered health: arrivals and departures resolve before each
-	// epoch (so newly placed VMs are exposed to that window's
-	// crash/migration outcome, as in the stream simulator), then the
-	// epoch's health lands in the scheduler in node order. The manager
-	// sees byte-identical inputs in the identical order as under
-	// per-window barriers — and as at any other shard count.
-	cursor := openstack.NewStreamCursor(arrivals)
-	evictedVMs := 0
-	health := make([]openstack.NodeHealth, len(states))
-	for w := 0; w < cfg.Windows; w++ {
-		now := time.Duration(w) * time.Minute
-		cursor.Advance(mgr, now)
-		for i, s := range states {
-			h := s.health[w]
-			health[i] = openstack.NodeHealth{
-				Name:         s.name,
-				FailProb:     h.failProb,
-				Crashed:      h.crashed,
-				Correctable:  int(h.correctable),
-				ThermalAlarm: int(h.thermalAlarm),
-			}
-		}
-		stats, err := mgr.StepFleet(health, time.Minute, now, cfg.Repair)
-		if err != nil {
-			return fail(err)
-		}
-		evictedVMs += stats.EvictedVMs
-	}
+	mgr := rr.mgr
 
 	sum.MeanCPUTempC /= float64(cfg.Nodes)
 	sum.Scheduled = mgr.Scheduled
@@ -1043,41 +1256,12 @@ func Run(cfg Config) (Summary, error) {
 	sum.UserFacingViolations = mgr.UserFacingViolations
 	sum.EnergyKWh = mgr.EnergyJ / 3.6e6
 	sum.MeanAvailability = mgr.MeanAvailability()
-	sum.EvictedVMs = evictedVMs
+	sum.EvictedVMs = rr.evictedVMs
+	sum.PipelinedWindows = rr.pipelined
 
 	if err := flushHealthLog(); err != nil {
 		return sum, err
 	}
 	sum.WallClock = time.Since(start)
 	return sum, nil
-}
-
-// forEachNode runs fn(i) for every node index on a pool of `workers`
-// goroutines. fn must touch only node i's state.
-func forEachNode(workers, n int, fn func(i int)) {
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 }

@@ -104,8 +104,13 @@ type Report struct {
 	// CharactDiskErr carries the first best-effort spill failure, if
 	// any: results are unaffected, but the directory did not
 	// accumulate and the next run will re-characterize.
+	// CharactCoalesced counts hits that arrived while their key's one
+	// characterization was still in flight and waited on it instead of
+	// duplicating it — contention telemetry (timing-dependent, unlike
+	// hits/misses, which are deterministic in the grid).
 	CharactCacheHits   uint64 `json:"charact_cache_hits"`
 	CharactCacheMisses uint64 `json:"charact_cache_misses"`
+	CharactCoalesced   uint64 `json:"charact_coalesced,omitempty"`
 	CharactDiskHits    uint64 `json:"charact_disk_hits,omitempty"`
 	CharactDiskErr     string `json:"charact_disk_err,omitempty"`
 
@@ -365,6 +370,7 @@ func RunCampaign(c Campaign) (Report, error) {
 	if cache != nil {
 		st := cache.Stats()
 		rep.CharactCacheHits, rep.CharactCacheMisses = st.Hits, st.Misses
+		rep.CharactCoalesced = st.Coalesced
 		rep.CharactDiskHits = st.DiskHits
 		if err := cache.DiskErr(); err != nil {
 			rep.CharactDiskErr = err.Error()
