@@ -675,7 +675,26 @@ type fleetBenchFile struct {
 	Nodes     int                `json:"nodes"`
 	Windows   int                `json:"windows"`
 	Records   []fleetBenchRecord `json:"records"`
-	Legacy    legacyFleetRecord  `json:"-"`
+	// Restore is BenchmarkSnapshotRestore's history: the per-node fixed
+	// cost of materializing a cached characterization, legacy deep
+	// restore vs compiled template stamp, tracked run over run in the
+	// same file the fleet-scaling records live in.
+	Restore []restoreBenchRecord `json:"restore,omitempty"`
+	Legacy  legacyFleetRecord    `json:"-"`
+}
+
+// restoreBenchRecord is one dated BenchmarkSnapshotRestore
+// measurement: both paths from the same snapshot in the same process,
+// so the speedup column compares like with like.
+type restoreBenchRecord struct {
+	Date            string  `json:"date,omitempty"`
+	Env             string  `json:"env,omitempty"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	LegacyNsPerOp   int64   `json:"legacy_ns_per_op"`
+	LegacyAllocs    float64 `json:"legacy_allocs_per_op"`
+	TemplateNsPerOp int64   `json:"template_ns_per_op"`
+	TemplateAllocs  float64 `json:"template_allocs_per_op"`
+	Speedup         float64 `json:"speedup_vs_legacy"`
 }
 
 // benchHistoryCap bounds the retained history so the committed records
@@ -958,6 +977,169 @@ func BenchmarkCampaign(b *testing.B) {
 	})
 	hist.Legacy = legacyCampaignRecord{}
 	writeBenchHistory(b, "BENCH_campaign.json", hist)
+}
+
+// restoreRegressionTolerance is the BenchmarkSnapshotRestore gate,
+// matching the campaign fence: the template stamp may run at most 20%
+// slower than the previous record of the same GOMAXPROCS and
+// environment class before CI fails.
+const restoreRegressionTolerance = 1.20
+
+// BenchmarkSnapshotRestore measures the per-node fixed cost the
+// characterization cache charges on every hit: materializing an
+// ecosystem from a snapshot. The legacy leg is the reference deep
+// restore (Snapshot.Restore — full object-graph rebuild); the template
+// leg is the compiled fast path (RestoreTemplate.RestoreInto into a
+// warm worker arena — bulk copies, near-zero allocations), which the
+// fleet engine now runs by default. Both legs restore the same
+// default-spec snapshot, and the ≥5× allocation reduction plus the
+// measured ns/op win are enforced, not asserted: the benchmark fails
+// if the template path stops beating the legacy one.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	opts := core.DefaultOptions()
+	opts.Seed = 1
+	eco, err := core.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eco.PreDeployment(); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := eco.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmpl := snap.Compile()
+	arena := core.NewRestoreArena()
+	if _, err := tmpl.RestoreInto(arena, core.RestoreOptions{}); err != nil {
+		b.Fatal(err) // cold stamp: later iterations measure the warm path
+	}
+
+	// measure runs one leg, returning ns/op and allocs/op. Allocations
+	// come from the runtime's malloc counter around the timed loop —
+	// the same number -benchmem prints, but available programmatically
+	// for the history record.
+	measure := func(b *testing.B, run func()) (int64, float64) {
+		b.ReportAllocs()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		return b.Elapsed().Nanoseconds() / int64(b.N),
+			float64(after.Mallocs-before.Mallocs) / float64(b.N)
+	}
+
+	var legacyNs, tmplNs int64
+	var legacyAllocs, tmplAllocs float64
+	b.Run("legacy", func(b *testing.B) {
+		legacyNs, legacyAllocs = measure(b, func() {
+			if _, err := snap.Restore(core.RestoreOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	b.Run("template", func(b *testing.B) {
+		tmplNs, tmplAllocs = measure(b, func() {
+			if _, err := tmpl.RestoreInto(arena, core.RestoreOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
+	if legacyNs == 0 || tmplNs == 0 {
+		return // a -bench filter skipped a leg; nothing comparable to record
+	}
+	speedup := float64(legacyNs) / float64(tmplNs)
+	b.ReportMetric(speedup, "template_speedup")
+
+	// The tentpole's acceptance criteria, as fences: ≥5× fewer
+	// allocations and a measured wall-clock win for the template path.
+	if tmplAllocs*5 > legacyAllocs {
+		b.Fatalf("template stamp allocates %.1f/op vs legacy %.1f/op — less than the required 5x reduction",
+			tmplAllocs, legacyAllocs)
+	}
+	if tmplNs >= legacyNs {
+		msg := fmt.Sprintf("template stamp (%d ns/op) is not faster than legacy deep restore (%d ns/op)",
+			tmplNs, legacyNs)
+		if os.Getenv("CI") != "" {
+			b.Fatal(msg)
+		}
+		b.Logf("WARNING: %s (non-fatal outside CI)", msg)
+	}
+
+	var hist fleetBenchFile
+	loadBenchHistory(b, "BENCH_fleet.json", &hist)
+	if hist.Legacy.Variants != nil {
+		// Same migration BenchmarkFleetRuntime performs, for when this
+		// benchmark is the only one run against a pre-history file.
+		hist.Records = append(hist.Records, fleetBenchRecord{
+			GOMAXPROCS:  hist.Legacy.GOMAXPROCS,
+			Fingerprint: hist.Legacy.Fingerprint,
+			Variants:    hist.Legacy.Variants,
+		})
+	}
+
+	// Regression gate on the path the fleet actually runs: compare the
+	// template ns/op against the most recent record of the same
+	// GOMAXPROCS and environment class. Fatal under CI, a warning
+	// interactively; calibration re-runs are exempt; a flagged run is
+	// re-measured best-of-retries before being condemned, since a
+	// microsecond-scale loop on a shared runner can catch a noisy
+	// neighbor.
+	const slotKey = "BENCH_fleet.json#restore"
+	if _, rerun := benchRecordSlot[slotKey]; !rerun {
+		for i := len(hist.Restore) - 1; i >= 0; i-- {
+			prev := hist.Restore[i]
+			prevEnv := prev.Env
+			if prevEnv == "" {
+				prevEnv = "local"
+			}
+			if prev.GOMAXPROCS != runtime.GOMAXPROCS(0) || prev.TemplateNsPerOp <= 0 || prevEnv != benchEnv() {
+				continue
+			}
+			if ratio := float64(tmplNs) / float64(prev.TemplateNsPerOp); ratio > restoreRegressionTolerance {
+				best := tmplNs
+				for retry := 0; retry < 2 && float64(best)/float64(prev.TemplateNsPerOp) > restoreRegressionTolerance; retry++ {
+					const n = 2000
+					start := time.Now()
+					for i := 0; i < n; i++ {
+						if _, err := tmpl.RestoreInto(arena, core.RestoreOptions{}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if ns := time.Since(start).Nanoseconds() / n; ns < best {
+						best = ns
+					}
+				}
+				ratio = float64(best) / float64(prev.TemplateNsPerOp)
+				if ratio > restoreRegressionTolerance {
+					msg := fmt.Sprintf("snapshot restore regressed %.0f%% vs the previous record (%d -> %d ns/op best-of-retries at GOMAXPROCS=%d env=%s, recorded %s)",
+						(ratio-1)*100, prev.TemplateNsPerOp, best, prev.GOMAXPROCS, prevEnv, prev.Date)
+					if os.Getenv("CI") != "" {
+						b.Fatal(msg)
+					}
+					b.Logf("WARNING: %s (non-fatal outside CI)", msg)
+				}
+			}
+			break
+		}
+	}
+
+	hist.Restore = appendBenchRecord(slotKey, hist.Restore, restoreBenchRecord{
+		Date:            time.Now().UTC().Format(time.RFC3339),
+		Env:             benchEnv(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		LegacyNsPerOp:   legacyNs,
+		LegacyAllocs:    legacyAllocs,
+		TemplateNsPerOp: tmplNs,
+		TemplateAllocs:  tmplAllocs,
+		Speedup:         speedup,
+	})
+	hist.Legacy = legacyFleetRecord{}
+	writeBenchHistory(b, "BENCH_fleet.json", hist)
 }
 
 func runEcosystemOnce(seed uint64) error {

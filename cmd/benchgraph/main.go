@@ -7,6 +7,13 @@
 //
 //	go run ./cmd/benchgraph                 # render both histories to stdout
 //	go run ./cmd/benchgraph -o BENCH_HISTORY.md
+//	go run ./cmd/benchgraph -merge artifact/BENCH_fleet.json
+//
+// -merge is the one write operation: it folds the records of a
+// CI-produced bench artifact into the committed history, deduplicated
+// by date+environment, so committing a runner's multi-core
+// measurements (the records that arm the CI-class regression fences)
+// is one command plus `git commit` instead of hand-edited JSON.
 package main
 
 import (
@@ -25,7 +32,15 @@ func main() {
 	fleetPath := flag.String("fleet", "BENCH_fleet.json", "fleet benchmark history (empty to skip)")
 	campaignPath := flag.String("campaign", "BENCH_campaign.json", "campaign benchmark history (empty to skip)")
 	outPath := flag.String("o", "", "write the markdown report here (default stdout)")
+	mergePath := flag.String("merge", "", "merge the records of this downloaded bench artifact into -fleet, then exit")
 	flag.Parse()
+
+	if *mergePath != "" {
+		if err := mergeFleet(*fleetPath, *mergePath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -71,6 +86,16 @@ type fleetFile struct {
 			PeakBytes  int64   `json:"peak_bytes"`
 		} `json:"variants"`
 	} `json:"records"`
+	Restore []struct {
+		Date            string  `json:"date"`
+		Env             string  `json:"env"`
+		GOMAXPROCS      int     `json:"gomaxprocs"`
+		LegacyNsPerOp   int64   `json:"legacy_ns_per_op"`
+		LegacyAllocs    float64 `json:"legacy_allocs_per_op"`
+		TemplateNsPerOp int64   `json:"template_ns_per_op"`
+		TemplateAllocs  float64 `json:"template_allocs_per_op"`
+		Speedup         float64 `json:"speedup_vs_legacy"`
+	} `json:"restore"`
 }
 
 // campaignFile mirrors BENCH_campaign.json.
@@ -90,6 +115,85 @@ type campaignFile struct {
 		CacheHits   uint64  `json:"charact_cache_hits"`
 		CacheMisses uint64  `json:"charact_cache_misses"`
 	} `json:"records"`
+}
+
+// mergeHistoryCap mirrors the benchmarks' own history cap: merging
+// never grows a record slice past what a benchmark run would keep.
+const mergeHistoryCap = 100
+
+// mergeFleet folds the "records" and "restore" histories of a
+// downloaded bench artifact into the committed fleet history. It works
+// on raw JSON values (json.Number, no struct round-trip) so fields
+// this tool does not draw survive the rewrite, and deduplicates by
+// date+env+gomaxprocs — re-merging the same artifact is a no-op.
+func mergeFleet(committedPath, artifactPath string) error {
+	var committed, artifact map[string]any
+	if err := loadRaw(committedPath, &committed); err != nil {
+		return err
+	}
+	if err := loadRaw(artifactPath, &artifact); err != nil {
+		return err
+	}
+	added := 0
+	for _, key := range []string{"records", "restore"} {
+		have, _ := committed[key].([]any)
+		seen := make(map[string]bool, len(have))
+		for _, r := range have {
+			seen[recordIdentity(r)] = true
+		}
+		incoming, _ := artifact[key].([]any)
+		for _, r := range incoming {
+			if id := recordIdentity(r); !seen[id] {
+				have = append(have, r)
+				seen[id] = true
+				added++
+			}
+		}
+		if len(have) > mergeHistoryCap {
+			have = have[len(have)-mergeHistoryCap:]
+		}
+		if have != nil {
+			committed[key] = have
+		}
+	}
+	buf, err := json.MarshalIndent(committed, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(committedPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("merged %d new record(s) from %s into %s", added, artifactPath, committedPath)
+	return nil
+}
+
+// recordIdentity keys a history record for merge deduplication. Dated
+// records (every record the current benchmarks write) are identified
+// by when and where they were measured; anything undated falls back to
+// its full serialized form.
+func recordIdentity(r any) string {
+	if m, ok := r.(map[string]any); ok {
+		if d, _ := m["date"].(string); d != "" {
+			return fmt.Sprintf("%s|%v|%v", d, m["env"], m["gomaxprocs"])
+		}
+	}
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// loadRaw decodes path preserving numeric literals (json.Number), for
+// the merge path that rewrites the file.
+func loadRaw(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
 }
 
 func load(path string, v any) error {
@@ -159,7 +263,27 @@ func renderFleet(out io.Writer, path string) error {
 	fmt.Fprintf(out, "\nns/op @1 worker, run over run (lower is better):\n\n    %s\n", sparkline(series))
 	fmt.Fprintf(out, "\nmax-worker parallel efficiency (speedup/worker), run over run on a 0..1 scale (higher is better):\n\n    %s\n",
 		absSparkline(effSeries, 0, 1))
+	if len(f.Restore) > 0 {
+		renderRestore(out, f)
+	}
 	return nil
+}
+
+// renderRestore draws BenchmarkSnapshotRestore's history: the fixed
+// per-node cost of materializing a cached characterization, legacy
+// deep restore vs the compiled template stamp the fleet runs.
+func renderRestore(out io.Writer, f fleetFile) {
+	fmt.Fprintf(out, "\n## BenchmarkSnapshotRestore (per-node restore from a cached characterization)\n\n")
+	fmt.Fprintf(out, "| run | date | env | gomaxprocs | legacy ns/op | legacy allocs/op | template ns/op | template allocs/op | speedup |\n")
+	fmt.Fprintf(out, "|----:|------|-----|-----------:|-------------:|-----------------:|---------------:|-------------------:|--------:|\n")
+	var series []float64
+	for i, r := range f.Restore {
+		fmt.Fprintf(out, "| %d | %s | %s | %d | %s | %.0f | %s | %.0f | %.2fx |\n",
+			i+1, orDash(r.Date), orDash(r.Env), r.GOMAXPROCS,
+			nsFine(r.LegacyNsPerOp), r.LegacyAllocs, nsFine(r.TemplateNsPerOp), r.TemplateAllocs, r.Speedup)
+		series = append(series, float64(r.TemplateNsPerOp))
+	}
+	fmt.Fprintf(out, "\ntemplate ns/op, run over run (lower is better):\n\n    %s\n", sparkline(series))
 }
 
 // mib renders a byte count as MiB; zero (pre-field records) as a dash.
@@ -188,6 +312,15 @@ func renderCampaign(out io.Writer, path string) error {
 	}
 	fmt.Fprintf(out, "\nns/op, run over run (lower is better):\n\n    %s\n", sparkline(series))
 	return nil
+}
+
+// nsFine renders nanoseconds at two-decimal ms resolution, for
+// operations (like a single restore) that complete in a few ms.
+func nsFine(v int64) string {
+	if v == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.2fms", float64(v)/1e6)
 }
 
 // ns renders nanoseconds human-readably (ms resolution).

@@ -496,7 +496,8 @@ func runScenario(name string, nodesOverride, windowsOverride int, seed uint64, w
 	fmt.Printf("  peak heap:                %.1f MiB\n", float64(peak)/(1<<20))
 	if cache != nil {
 		st := cache.Stats()
-		fmt.Printf("  archetype bins:           %d characterized, %d nodes cloned\n", st.Misses, st.Hits)
+		fmt.Printf("  archetype bins:           %d characterized, %d templates compiled, %d nodes cloned\n",
+			st.Misses, st.Compiled, st.Hits)
 	}
 	if streamed > 0 {
 		fmt.Printf("  per-node summaries:       %d streamed, none retained (fleet > %d nodes)\n",
@@ -649,6 +650,10 @@ func runCampaignCLI(ctx context.Context, out io.Writer, o campaignOpts) error {
 		}
 		fmt.Fprintf(out, "snapshot cache: %d hits / %d misses across %d-way parallel cells (%.1fx characterization reuse)\n",
 			hits, misses, rep.EffectiveParallel, reuse)
+		if rep.CharactCompiled > 0 {
+			fmt.Fprintf(out, "snapshot cache: %d restore templates compiled; every hit stamped from a template instead of deep-restoring\n",
+				rep.CharactCompiled)
+		}
 		if rep.CharactCoalesced > 0 {
 			fmt.Fprintf(out, "snapshot cache: %d concurrent misses coalesced onto in-flight characterizations\n",
 				rep.CharactCoalesced)
@@ -857,6 +862,16 @@ func runFleet(nodes, workers, shards int, seed uint64, m vfr.Mode, risk float64,
 	if runErr != nil {
 		return runErr
 	}
+	// Snapshot the cache counters now, before the -compare reference
+	// pass below reuses the same cache: its nodes are all served as
+	// hits, and reading Stats() after it would report the two runs'
+	// traffic conflated as if it were the measured run's. (HeapWatermark
+	// needs no such care — its sampler is scoped to the one closure and
+	// joined before it returns.)
+	var cacheStats fleet.CacheStats
+	if cache != nil {
+		cacheStats = cache.Stats()
+	}
 
 	var ref fleet.Summary
 	var err error
@@ -888,8 +903,8 @@ func runFleet(nodes, workers, shards int, seed uint64, m vfr.Mode, risk float64,
 		sum.WallClock.Round(time.Millisecond), sum.Workers, sum.Shards)
 	fmt.Printf("  peak heap:                %.1f MiB\n", float64(peak)/(1<<20))
 	if cache != nil {
-		st := cache.Stats()
-		fmt.Printf("  archetype bins:           %d characterized, %d nodes cloned\n", st.Misses, st.Hits)
+		fmt.Printf("  archetype bins:           %d characterized, %d templates compiled, %d nodes cloned\n",
+			cacheStats.Misses, cacheStats.Compiled, cacheStats.Hits)
 	}
 	if streamed > 0 {
 		fmt.Printf("  per-node summaries:       %d streamed, none retained (fleet > %d nodes)\n",

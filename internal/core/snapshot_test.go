@@ -185,6 +185,15 @@ func TestSnapshotRefusesMidDeployment(t *testing.T) {
 // raise the fence.
 const restoreAllocBudget = 400
 
+// templateRestoreAllocBudget fences the steady-state allocation count
+// of a warm template stamp — the cost every fleet node actually pays
+// now that the compiled path is default-on. Everything is stamped into
+// reused arena storage; the only survivors are the two thermal-node
+// constructions of the ambient re-seat (measured: 2). If this fence
+// breaks, a stamp started allocating per element — fix the stamp,
+// don't raise the fence.
+const templateRestoreAllocBudget = 4
+
 func TestSnapshotRestoreAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("characterization is slow; skipping in -short")
@@ -203,6 +212,24 @@ func TestSnapshotRestoreAllocBudget(t *testing.T) {
 	if avg > restoreAllocBudget {
 		t.Fatalf("Snapshot.Restore allocates %.0f, budget is %d — the clone path regressed",
 			avg, restoreAllocBudget)
+	}
+
+	// The compiled fast path: near zero steady-state allocations once
+	// the arena is warm.
+	tmpl := snap.Compile()
+	arena := NewRestoreArena()
+	if _, err := tmpl.RestoreInto(arena, RestoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(50, func() {
+		if _, err := tmpl.RestoreInto(arena, RestoreOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("RestoreTemplate.RestoreInto (warm): %.0f allocs (budget %d)", warm, templateRestoreAllocBudget)
+	if warm > templateRestoreAllocBudget {
+		t.Fatalf("warm template stamp allocates %.0f, budget is %d — the stamp path regressed",
+			warm, templateRestoreAllocBudget)
 	}
 }
 

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"uniserver/internal/workload"
+
+	"uniserver/internal/vfr"
+)
+
+// TestTemplateRestoreEquivalence pins the compiled fast path to the
+// reference implementation: an ecosystem stamped from a compiled
+// template must be indistinguishable — window by window, bit by bit —
+// from one deep-restored by Snapshot.Restore, across ambients, on a
+// cold arena, on a warm arena, and on an arena left dirty by a full
+// deployment of the previous occupant.
+func TestTemplateRestoreEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow; skipping in -short")
+	}
+	const windows = 40
+	for _, seed := range []uint64{3, 19} {
+		for _, amb := range []struct{ cpu, dimm float64 }{{0, 0}, {38, 44}} {
+			t.Run(fmt.Sprintf("seed=%d/ambient=%v", seed, amb.cpu), func(t *testing.T) {
+				eco, _ := readyEcosystem(t, seed)
+				snap, err := eco.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tmpl := snap.Compile()
+				ropts := RestoreOptions{AmbientCPUC: amb.cpu, AmbientDIMMC: amb.dimm}
+
+				legacy, err := snap.Restore(ropts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := deploymentTrace(t, legacy, windows)
+
+				arena := NewRestoreArena()
+				// Cold stamp, warm stamp, dirty re-stamp: each must
+				// reproduce the reference trace exactly. Each trace run
+				// leaves the arena ecosystem fully mutated (aged silicon,
+				// spent streams, advanced clock), so every iteration after
+				// the first also proves the stamp overwrites all of it.
+				for pass, label := range []string{"cold", "warm", "dirty"} {
+					stamped, err := tmpl.RestoreInto(arena, ropts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := deploymentTrace(t, stamped, windows); got != want {
+						t.Fatalf("pass %d (%s): template restore diverged from legacy restore:\n--- legacy ---\n%s--- template ---\n%s",
+							pass, label, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTemplateRestoreHealthLogBytes pins the per-node log surface: the
+// JSON-lines health log a stamped ecosystem writes during deployment
+// must be byte-identical to the legacy restore's, since the fleet's
+// golden health logs are fingerprinted from these bytes.
+func TestTemplateRestoreHealthLogBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow; skipping in -short")
+	}
+	eco, _ := readyEcosystem(t, 7)
+	snap, err := eco.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := snap.Compile()
+
+	run := func(e *Ecosystem) {
+		t.Helper()
+		if _, err := e.RunDeployment(vfr.ModeHighPerformance, 0.01, workload.WebFrontend(), 25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var legacyLog, stampLog bytes.Buffer
+	legacy, err := snap.Restore(RestoreOptions{HealthLogOut: &legacyLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(legacy)
+
+	arena := NewRestoreArena()
+	if _, err := tmpl.RestoreInto(arena, RestoreOptions{}); err != nil {
+		t.Fatal(err) // cold stamp; the warm stamp below is the path under test
+	}
+	stamped, err := tmpl.RestoreInto(arena, RestoreOptions{HealthLogOut: &stampLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(stamped)
+
+	if !bytes.Equal(legacyLog.Bytes(), stampLog.Bytes()) {
+		t.Fatalf("health-log bytes diverged (legacy %d bytes, template %d bytes)",
+			legacyLog.Len(), stampLog.Len())
+	}
+}
+
+// TestTemplateRestoreReseed pins the archetype path through the
+// template: stamp + Reseed must equal legacy restore + Reseed, stream
+// for stream.
+func TestTemplateRestoreReseed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow; skipping in -short")
+	}
+	eco, _ := readyEcosystem(t, 5)
+	snap, err := eco.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := snap.Compile()
+	const seed = 1234
+
+	legacy, err := snap.Restore(RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Reseed(seed); err != nil {
+		t.Fatal(err)
+	}
+	want := deploymentTrace(t, legacy, 30)
+
+	arena := NewRestoreArena()
+	if _, err := tmpl.RestoreInto(arena, RestoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stamped, err := tmpl.RestoreInto(arena, RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stamped.Reseed(seed); err != nil {
+		t.Fatal(err)
+	}
+	if got := deploymentTrace(t, stamped, 30); got != want {
+		t.Fatalf("reseeded template restore diverged:\n--- legacy ---\n%s--- template ---\n%s", want, got)
+	}
+}
+
+// TestTemplateRestoreEpochBoundary pins the lifetime-engine capture
+// window: a snapshot taken on a fast-forward epoch boundary after an
+// in-field re-characterization (the AVATAR growth path: aged silicon,
+// grown VRT state, refreshed margins) must compile and stamp exactly
+// as it deep-restores.
+func TestTemplateRestoreEpochBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow; skipping in -short")
+	}
+	eco, _ := readyEcosystem(t, 11)
+	d, err := eco.StartDeployment(vfr.ModeHighPerformance, 0.01, workload.WebFrontend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 15; w++ {
+		if _, err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.FastForward(Gap{Days: 60, Duty: 0.5, AmbientCPUC: 33, AmbientDIMMC: 39}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RecharacterizeNow(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eco.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := snap.Compile()
+
+	legacy, err := snap.Restore(RestoreOptions{AmbientCPUC: 33, AmbientDIMMC: 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := deploymentTrace(t, legacy, 30)
+
+	arena := NewRestoreArena()
+	ropts := RestoreOptions{AmbientCPUC: 33, AmbientDIMMC: 39}
+	if _, err := tmpl.RestoreInto(arena, ropts); err != nil {
+		t.Fatal(err)
+	}
+	stamped, err := tmpl.RestoreInto(arena, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := deploymentTrace(t, stamped, 30); got != want {
+		t.Fatalf("epoch-boundary template restore diverged:\n--- legacy ---\n%s--- template ---\n%s", want, got)
+	}
+}
+
+// TestTemplateRestoreIndependence pins the alias-free property across
+// arenas: running one stamped node to completion (mutating silicon
+// aging, VRT telegraph state, health history, hypervisor counters,
+// stream positions) must leave the template — and nodes stamped from
+// it afterwards, on the same or other arenas — untouched.
+func TestTemplateRestoreIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization is slow; skipping in -short")
+	}
+	eco, _ := readyEcosystem(t, 13)
+	snap, err := eco.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := snap.Compile()
+
+	a, b := NewRestoreArena(), NewRestoreArena()
+	stamp := func(ar *RestoreArena) *Ecosystem {
+		t.Helper()
+		e, err := tmpl.RestoreInto(ar, RestoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	traceA := deploymentTrace(t, stamp(a), 30)
+	// b stamps only after a's node fully mutated itself; bleed into the
+	// shared template would show up here.
+	traceB := deploymentTrace(t, stamp(b), 30)
+	if traceA != traceB {
+		t.Fatalf("sibling arena stamps diverged — template state is shared mutable:\n--- first ---\n%s--- second ---\n%s",
+			traceA, traceB)
+	}
+	// Re-stamping the dirty arenas must still reproduce the original.
+	if traceC := deploymentTrace(t, stamp(a), 30); traceC != traceA {
+		t.Fatalf("re-stamp after a full deployment diverged:\n--- before ---\n%s--- after ---\n%s",
+			traceA, traceC)
+	}
+	// And the legacy path still sees the pristine snapshot.
+	legacy, err := snap.Restore(RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceL := deploymentTrace(t, legacy, 30); traceL != traceA {
+		t.Fatalf("snapshot mutated by template stamps:\n--- legacy ---\n%s--- stamped ---\n%s",
+			traceL, traceA)
+	}
+}

@@ -176,6 +176,16 @@ func (m *Machine) Clone() *Machine {
 	return &Machine{Spec: m.Spec, Chip: m.Chip.Clone(), src: &src}
 }
 
+// StampFrom overwrites m with a deep copy of src, reusing m's chip and
+// stream storage. It is the arena form of Clone: m must already have
+// been built by New or Clone (non-nil Chip and stream), and afterwards
+// evolves independently of src exactly as a Clone would.
+func (m *Machine) StampFrom(src *Machine) {
+	m.Spec = src.Spec
+	src.Chip.CopyInto(m.Chip)
+	*m.src = *src.src
+}
+
 // StreamState returns the measurement stream's position — the
 // persistence hook snapshot serialization uses alongside the chip's
 // exported state.

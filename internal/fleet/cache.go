@@ -54,7 +54,7 @@ type CharactCache struct {
 	diskErrMu sync.Mutex
 	diskErr   error
 
-	hits, misses, coalesced, diskHits atomic.Uint64
+	hits, misses, coalesced, diskHits, compiled atomic.Uint64
 }
 
 // charactEntry is one key's singleflight slot. The creating goroutine
@@ -64,6 +64,11 @@ type CharactCache struct {
 type charactEntry struct {
 	done chan struct{}
 	snap *core.Snapshot
+	// tmpl is the snapshot compiled for mass restoration
+	// (core.RestoreTemplate): built once by the entry's creator before
+	// done closes, then shared read-only by every consumer — the stamp
+	// path takes zero lock acquisitions on shared state.
+	tmpl *core.RestoreTemplate
 	pre  core.PreDeploymentReport
 	log  []byte
 	err  error
@@ -88,6 +93,10 @@ type CacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced,omitempty"`
 	DiskHits  uint64 `json:"disk_hits,omitempty"`
+	// Compiled counts restore templates built (one per successfully
+	// characterized entry, whether it came from a fresh run or the
+	// disk spill) — the compile cost amortized across every stamp.
+	Compiled uint64 `json:"compiled,omitempty"`
 }
 
 // Stats returns the cache's hit/miss/coalesced counters.
@@ -97,6 +106,7 @@ func (c *CharactCache) Stats() CacheStats {
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
 		DiskHits:  c.diskHits.Load(),
+		Compiled:  c.compiled.Load(),
 	}
 }
 
@@ -121,7 +131,7 @@ func (c *CharactCache) entry(key string) (*charactEntry, bool) {
 // written, because characterization is deterministic in the key.
 func (c *CharactCache) characterized(key string, wantLog bool,
 	characterize func(out io.Writer) (*core.Ecosystem, core.PreDeploymentReport, error),
-) (*core.Snapshot, core.PreDeploymentReport, []byte, error) {
+) (*core.Snapshot, *core.RestoreTemplate, core.PreDeploymentReport, []byte, error) {
 	e, creator := c.entry(key)
 	if !creator {
 		// Served from the cache. Distinguish a completed entry (plain
@@ -135,7 +145,7 @@ func (c *CharactCache) characterized(key string, wantLog bool,
 			<-e.done
 		}
 		c.hits.Add(1)
-		return e.snap, e.pre, e.log, e.err
+		return e.snap, e.tmpl, e.pre, e.log, e.err
 	}
 
 	// This goroutine owns the key's one characterization. The attached
@@ -169,6 +179,13 @@ func (c *CharactCache) characterized(key string, wantLog bool,
 		}
 		e.err = err
 	}
+	// Compile the restore template before publishing: the close below
+	// is the happens-before edge that makes e.tmpl visible to every
+	// waiter, after which stamping is lock-free and shared read-only.
+	if e.err == nil && e.snap != nil {
+		e.tmpl = e.snap.Compile()
+		c.compiled.Add(1)
+	}
 	// Publish before spilling: closing done releases every coalesced
 	// waiter, so the disk write below happens outside the key's
 	// critical section — waiters restore snapshots while the creator
@@ -182,7 +199,7 @@ func (c *CharactCache) characterized(key string, wantLog bool,
 			c.spillDisk(key, e.snap, e.pre, e.log)
 		}
 	}
-	return e.snap, e.pre, e.log, e.err
+	return e.snap, e.tmpl, e.pre, e.log, e.err
 }
 
 // ArchetypeBin canonically renders the characterization identity of a

@@ -598,9 +598,15 @@ func (s *nodeState) characterize(spec NodeSpec, wantLog bool) (*core.Ecosystem, 
 }
 
 // restoreFrom materializes this node's ecosystem from a cached
-// snapshot: replay the captured characterization log bytes (when
-// logging), rebind the log writer and re-seat the ambient.
-func (s *nodeState) restoreFrom(snap *core.Snapshot, spec NodeSpec, logBytes []byte, wantLog bool) (*core.Ecosystem, error) {
+// characterization: replay the captured log bytes (when logging),
+// rebind the log writer and re-seat the ambient. With a compiled
+// template and a worker arena it takes the stamp path
+// (RestoreTemplate.RestoreInto — bulk copies into reused storage, no
+// shared locks); the legacy deep restore remains the reference
+// implementation, used when either is absent and pinned byte-for-byte
+// against the template path by the core equivalence tests.
+func (s *nodeState) restoreFrom(snap *core.Snapshot, tmpl *core.RestoreTemplate,
+	arena *core.RestoreArena, spec NodeSpec, logBytes []byte, wantLog bool) (*core.Ecosystem, error) {
 	ropts := core.RestoreOptions{
 		AmbientCPUC:  spec.AmbientCPUC,
 		AmbientDIMMC: spec.AmbientDIMMC,
@@ -608,6 +614,9 @@ func (s *nodeState) restoreFrom(snap *core.Snapshot, spec NodeSpec, logBytes []b
 	if wantLog {
 		s.log.Write(logBytes)
 		ropts.HealthLogOut = &s.log
+	}
+	if tmpl != nil && arena != nil {
+		return tmpl.RestoreInto(arena, ropts)
 	}
 	return snap.Restore(ropts)
 }
@@ -620,13 +629,14 @@ func (s *nodeState) restoreFrom(snap *core.Snapshot, spec NodeSpec, logBytes []b
 // two paths' outputs pinned to each other: any restore imperfection
 // shows up as a fingerprint divergence against the direct path's
 // goldens instead of hiding behind a warm cache.
-func (s *nodeState) characterizeCached(cache *CharactCache, spec NodeSpec, wantLog bool) (*core.Ecosystem, core.PreDeploymentReport, error) {
-	snap, pre, logBytes, err := cache.characterized(charactKey(s.seed, spec, wantLog), wantLog,
+func (s *nodeState) characterizeCached(cache *CharactCache, arena *core.RestoreArena,
+	spec NodeSpec, wantLog bool) (*core.Ecosystem, core.PreDeploymentReport, error) {
+	snap, tmpl, pre, logBytes, err := cache.characterized(charactKey(s.seed, spec, wantLog), wantLog,
 		charactBuilder(spec, s.seed))
 	if err != nil {
 		return nil, core.PreDeploymentReport{}, err
 	}
-	eco, err := s.restoreFrom(snap, spec, logBytes, wantLog)
+	eco, err := s.restoreFrom(snap, tmpl, arena, spec, logBytes, wantLog)
 	if err != nil {
 		return nil, core.PreDeploymentReport{}, err
 	}
@@ -639,14 +649,15 @@ func (s *nodeState) characterizeCached(cache *CharactCache, spec NodeSpec, wantL
 // its own node seed. Which node populates the bin entry first can
 // never matter — the bin seed, not the node seed, drives the campaign
 // — so results are worker- and shard-invariant by construction.
-func (s *nodeState) characterizeArchetype(cache *CharactCache, fleetSeed uint64, spec NodeSpec, wantLog bool) (*core.Ecosystem, core.PreDeploymentReport, error) {
+func (s *nodeState) characterizeArchetype(cache *CharactCache, arena *core.RestoreArena,
+	fleetSeed uint64, spec NodeSpec, wantLog bool) (*core.Ecosystem, core.PreDeploymentReport, error) {
 	binSeed := ArchetypeSeed(fleetSeed, ArchetypeBin(spec))
-	snap, pre, logBytes, err := cache.characterized(charactKey(binSeed, spec, wantLog), wantLog,
+	snap, tmpl, pre, logBytes, err := cache.characterized(charactKey(binSeed, spec, wantLog), wantLog,
 		charactBuilder(spec, binSeed))
 	if err != nil {
 		return nil, core.PreDeploymentReport{}, err
 	}
-	eco, err := s.restoreFrom(snap, spec, logBytes, wantLog)
+	eco, err := s.restoreFrom(snap, tmpl, arena, spec, logBytes, wantLog)
 	if err != nil {
 		return nil, core.PreDeploymentReport{}, err
 	}
@@ -786,11 +797,13 @@ func Run(cfg Config) (Summary, error) {
 	// runNode is one node's fused lifecycle — characterization, mode
 	// entry, cloud export, the full window sequence, and the final
 	// deployment summary. The ecosystem and deployment are locals: when
-	// the task returns, the node's multi-megabyte simulator stack is
-	// garbage, and only the compact slot state survives. That locality
-	// is the engine's memory bound — at most `workers` ecosystems exist
-	// at any instant, however many nodes the fleet has.
-	runNode := func(i int) {
+	// the task returns, only the compact slot state survives — nothing
+	// retained aliases ecosystem internals, which is what licenses the
+	// worker's restore arena to overwrite the graph in place for the
+	// next node. At most `workers` ecosystems exist at any instant,
+	// however many nodes the fleet has; cached-path nodes reuse their
+	// worker's one arena graph instead of rebuilding it.
+	runNode := func(i int, arena *core.RestoreArena) {
 		s := states[i]
 		failNode := func(w int, err error) {
 			s.err, s.errWindow = err, w
@@ -804,9 +817,9 @@ func Run(cfg Config) (Summary, error) {
 		)
 		switch {
 		case cfg.Archetypes:
-			eco, pre, err = s.characterizeArchetype(charact, cfg.Seed, spec, wantLog)
+			eco, pre, err = s.characterizeArchetype(charact, arena, cfg.Seed, spec, wantLog)
 		case charact != nil:
-			eco, pre, err = s.characterizeCached(charact, spec, wantLog)
+			eco, pre, err = s.characterizeCached(charact, arena, spec, wantLog)
 		default:
 			eco, pre, err = s.characterize(spec, wantLog)
 		}
@@ -1157,8 +1170,12 @@ func Run(cfg Config) (Summary, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One restore arena per worker goroutine: the cached paths
+			// stamp each node's ecosystem into it, reusing the graph
+			// built by the worker's first node.
+			arena := core.NewRestoreArena()
 			for j := range jobs {
-				runNode(j.node)
+				runNode(j.node, arena)
 				finishedNodes.Add(1)
 				if shardLeft[j.shard].Add(-1) == 0 {
 					// Last node of the shard: the fold loop can drain it.

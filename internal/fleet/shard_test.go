@@ -24,7 +24,7 @@ func TestFleetShardInvariance(t *testing.T) {
 	}
 	want := base.Fingerprint()
 	for _, shards := range []int{2, 3, 8} {
-		for _, workers := range []int{1, 4} {
+		for _, workers := range []int{1, 4, 8} {
 			cfg := smallConfig(5, workers)
 			cfg.Shards = shards
 			got, err := Run(cfg)

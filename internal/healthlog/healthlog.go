@@ -81,6 +81,12 @@ type Daemon struct {
 	recorded  uint64
 	crashes   uint64
 	writeErr  error
+
+	// sensorSlab and errorSlab back the stamped vectors of an arena
+	// daemon (Compiled.StampInto): one bulk copy per stamp instead of
+	// two allocations per retained vector. Unused on live daemons.
+	sensorSlab []telemetry.Reading
+	errorSlab  []telemetry.ErrorEvent
 }
 
 // compHistory is one component's retained vectors plus the rolling

@@ -1,0 +1,108 @@
+package hypervisor
+
+import (
+	"errors"
+	"fmt"
+
+	"uniserver/internal/dram"
+)
+
+// StampFrom overwrites h with a deep copy of src rebound to mem,
+// reusing h's object inventory, allocator and map storage. It is the
+// arena form of Clone: src must be quiescent (a restore template's
+// proto hypervisor, which nothing ever runs again), h must be owned
+// exclusively by the caller, and afterwards h's error handling and
+// guest churn leave src untouched exactly as a Clone's would.
+func (h *Hypervisor) StampFrom(src *Hypervisor, mem *dram.MemorySystem) error {
+	if mem == nil {
+		return errors.New("hypervisor: StampFrom needs a memory system")
+	}
+	h.cfg = src.cfg
+	h.mem = mem
+	if h.objects == nil {
+		h.objects = &ObjectMap{}
+	}
+	h.objects.CopyFrom(src.objects)
+	if h.alloc == nil {
+		h.alloc = dram.NewAllocator(mem)
+	}
+	if err := h.alloc.StampFrom(src.alloc, mem); err != nil {
+		return fmt.Errorf("hypervisor: rebinding allocator: %w", err)
+	}
+
+	if h.vms == nil {
+		h.vms = make(map[string]*VM, len(src.vms))
+	} else {
+		clear(h.vms)
+	}
+	for name, vm := range src.vms {
+		cp := *vm
+		h.vms[name] = &cp
+	}
+
+	if h.pins == nil {
+		h.pins = newPinner(src.pins.oversub)
+	}
+	h.pins.stampFrom(src.pins)
+
+	h.point = src.point
+
+	if h.isolatedCores == nil {
+		h.isolatedCores = make(map[int]bool, len(src.isolatedCores))
+	} else {
+		clear(h.isolatedCores)
+	}
+	for c, v := range src.isolatedCores {
+		h.isolatedCores[c] = v
+	}
+
+	if h.errorCounts == nil {
+		h.errorCounts = make(map[string]int, len(src.errorCounts))
+	} else {
+		clear(h.errorCounts)
+	}
+	for comp, n := range src.errorCounts {
+		h.errorCounts[comp] = n
+	}
+
+	h.stats = src.stats
+	h.panicked = src.panicked
+	return nil
+}
+
+// CopyFrom replaces om's inventory with a copy of src's, reusing om's
+// object slice and profile map storage. The arena form of Clone — one
+// bulk copy of the (large, plain-value) object slice.
+func (om *ObjectMap) CopyFrom(src *ObjectMap) {
+	om.Objects = append(om.Objects[:0], src.Objects...)
+	if om.profiles == nil {
+		om.profiles = make(map[Category]CategoryProfile, len(src.profiles))
+	} else {
+		clear(om.profiles)
+	}
+	for c, p := range src.profiles {
+		om.profiles[c] = p
+	}
+}
+
+// stampFrom overwrites p with a deep copy of src, reusing p's map
+// storage.
+func (p *pinner) stampFrom(src *pinner) {
+	p.oversub = src.oversub
+	if p.load == nil {
+		p.load = make(map[int]int, len(src.load))
+	} else {
+		clear(p.load)
+	}
+	for c, n := range src.load {
+		p.load[c] = n
+	}
+	if p.byVM == nil {
+		p.byVM = make(map[string][]int, len(src.byVM))
+	} else {
+		clear(p.byVM)
+	}
+	for vm, cores := range src.byVM {
+		p.byVM[vm] = append([]int(nil), cores...)
+	}
+}

@@ -108,10 +108,14 @@ type Report struct {
 	// characterization was still in flight and waited on it instead of
 	// duplicating it — contention telemetry (timing-dependent, unlike
 	// hits/misses, which are deterministic in the grid).
+	// CharactCompiled counts restore templates compiled — one per
+	// characterized entry (fresh or disk-served); every cache hit after
+	// that is a template stamp, not a deep restore.
 	CharactCacheHits   uint64 `json:"charact_cache_hits"`
 	CharactCacheMisses uint64 `json:"charact_cache_misses"`
 	CharactCoalesced   uint64 `json:"charact_coalesced,omitempty"`
 	CharactDiskHits    uint64 `json:"charact_disk_hits,omitempty"`
+	CharactCompiled    uint64 `json:"charact_compiled,omitempty"`
 	CharactDiskErr     string `json:"charact_disk_err,omitempty"`
 
 	// CachedCells counts cells served by Campaign.Lookup (a result
@@ -372,6 +376,7 @@ func RunCampaign(c Campaign) (Report, error) {
 		rep.CharactCacheHits, rep.CharactCacheMisses = st.Hits, st.Misses
 		rep.CharactCoalesced = st.Coalesced
 		rep.CharactDiskHits = st.DiskHits
+		rep.CharactCompiled = st.Compiled
 		if err := cache.DiskErr(); err != nil {
 			rep.CharactDiskErr = err.Error()
 		}

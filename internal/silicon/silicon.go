@@ -131,6 +131,16 @@ func (c *Chip) Clone() *Chip {
 	return &out
 }
 
+// CopyInto overwrites dst with a deep copy of c, reusing dst's core
+// slice storage when it has capacity. It is the allocation-free arena
+// form of Clone: after the call dst is an independent specimen exactly
+// as Clone would have produced, including unexported stress history.
+func (c *Chip) CopyInto(dst *Chip) {
+	cores := dst.Cores
+	*dst = *c
+	dst.Cores = append(cores[:0], c.Cores...)
+}
+
 // VcritMV returns the critical (minimum sustaining) voltage in
 // millivolts for the given core at the given frequency, excluding any
 // workload-induced droop. Below this voltage the core mis-times and

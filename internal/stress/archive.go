@@ -56,6 +56,20 @@ func (a *Archive) Clone() *Archive {
 	return out
 }
 
+// CopyFrom replaces a's entries with a copy of src's, reusing a's map
+// storage. The arena form of Clone: entries are plain values, so the
+// two libraries are fully detached afterwards.
+func (a *Archive) CopyFrom(src *Archive) {
+	if a.entries == nil {
+		a.entries = make(map[string]ArchiveEntry, len(src.entries))
+	} else {
+		clear(a.entries)
+	}
+	for name, e := range src.entries {
+		a.entries[name] = e
+	}
+}
+
 // Len returns the number of archived viruses.
 func (a *Archive) Len() int { return len(a.entries) }
 

@@ -1,0 +1,82 @@
+package stresslog
+
+import (
+	"time"
+
+	"uniserver/internal/cpu"
+	"uniserver/internal/dram"
+	"uniserver/internal/healthlog"
+	"uniserver/internal/power"
+	"uniserver/internal/stress"
+	"uniserver/internal/telemetry"
+)
+
+// Compiled is an immutable image of a Daemon's characterization state:
+// the schedule position, pending triggers, published-margin history
+// and virus archive, detached from the source daemon so stamping needs
+// no locks on shared state. History tables and the archive are
+// referenced, not copied — a Compiled must only be built from a daemon
+// that will never run again (a restore template's proto), which is
+// what makes the shared references safe under concurrent stamps.
+type Compiled struct {
+	refresh power.DRAMRefreshModel
+	period  time.Duration
+	online  bool
+	lastRun time.Time
+	pending []healthlog.TriggerReason
+	history []MarginVector // Table pointers shared with the source
+	archive *stress.Archive
+}
+
+// Compile flattens the daemon into its immutable template image.
+func (d *Daemon) Compile() *Compiled {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &Compiled{
+		refresh: d.refresh,
+		period:  d.period,
+		online:  d.online,
+		lastRun: d.lastRun,
+		pending: append([]healthlog.TriggerReason(nil), d.pending...),
+		history: append([]MarginVector(nil), d.history...),
+		archive: d.archive,
+	}
+}
+
+// StampInto overwrites d with the compiled image, rebinding it to the
+// arena's clock, machine, memory and health daemon. History tables are
+// deep-copied into d's existing table storage (CopyFrom reuses map
+// buckets), and the archive likewise, so a re-characterization on the
+// stamped daemon evolves independently of the template. The caller
+// owns d exclusively and re-hooks TriggerHandler, as after Clone.
+func (c *Compiled) StampInto(d *Daemon, clock *telemetry.Clock, m *cpu.Machine,
+	mem *dram.MemorySystem, health *healthlog.Daemon) {
+	d.clock = clock
+	d.machine = m
+	d.mem = mem
+	d.health = health
+	d.refresh = c.refresh
+	d.period = c.period
+	d.online = c.online
+	d.lastRun = c.lastRun
+	d.pending = append(d.pending[:0], c.pending...)
+	if d.archive == nil {
+		d.archive = stress.NewArchive()
+	}
+	d.archive.CopyFrom(c.archive)
+
+	old := d.history
+	d.history = d.history[:0]
+	for i, vec := range c.history {
+		if vec.Table != nil {
+			if i < len(old) && old[i].Table != nil {
+				t := old[i].Table
+				t.CopyFrom(vec.Table)
+				vec.Table = t
+			} else {
+				vec.Table = vec.Table.Clone()
+			}
+		}
+		d.history = append(d.history, vec)
+	}
+}

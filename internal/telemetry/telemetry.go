@@ -53,6 +53,17 @@ func (c *Clock) Advance(d time.Duration) time.Time {
 	return c.now
 }
 
+// Reset rewinds the clock to an arbitrary origin. Unlike Advance it
+// may move time backwards: it exists for arena reuse, where a clock
+// object is re-seated at a restore template's snapshot instant before
+// a fresh simulation run. Callers must not Reset a clock that other
+// goroutines are concurrently advancing.
+func (c *Clock) Reset(origin time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = origin
+}
+
 // WindowQuantum is the fine observation-window granularity of the
 // runtime loop: one simulated minute. Fast-forward gaps are coarse
 // jumps measured in multiples of it.

@@ -238,3 +238,17 @@ func (t *EOPTable) Clone() *EOPTable {
 	}
 	return c
 }
+
+// CopyFrom replaces t's contents with a copy of src's, reusing t's map
+// storage (Go maps keep their buckets across clear, so re-stamping the
+// same shape allocates nothing). The arena form of Clone.
+func (t *EOPTable) CopyFrom(src *EOPTable) {
+	if t.margins == nil {
+		t.margins = make(map[string]Margin, len(src.margins))
+	} else {
+		clear(t.margins)
+	}
+	for k, v := range src.margins {
+		t.margins[k] = v
+	}
+}
